@@ -1,0 +1,127 @@
+"""Section 3 ablation — extrapolation masking cache misses.
+
+"Extrapolated data can mask cache misses and answer queries so long as the
+query precision is met."  This bench sweeps the query precision requirement
+and reports how the proxy's answer mix shifts: tight precisions force
+archive pulls (energy, latency); loose precisions are absorbed by the
+prediction engine entirely.
+
+Expected shape: pull fraction decreases monotonically as precision relaxes;
+mean error stays under the precision bound throughout; sensor energy
+attributable to queries falls with precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, format_table, write_result
+from repro.core import PrestoConfig, PrestoSystem
+from repro.core.queries import AnswerSource
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import QueryWorkloadConfig, QueryWorkloadGenerator
+
+
+def _trace():
+    scale = bench_scale()
+    n_sensors = 8 if scale == "paper" else 4
+    days = 4.0 if scale == "paper" else 2.0
+    config = IntelLabConfig(
+        n_sensors=n_sensors, duration_s=days * 86_400.0, epoch_s=31.0
+    )
+    return IntelLabGenerator(config, seed=41).generate()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _trace()
+
+
+def run_precision(trace, precision):
+    """Run the cell under a workload asking for *precision* everywhere."""
+    workload = QueryWorkloadGenerator(
+        trace.n_sensors,
+        QueryWorkloadConfig(
+            arrival_rate_per_s=1 / 300.0,
+            precision=precision,
+            precision_jitter=0.0,
+        ),
+        np.random.default_rng(42),
+    )
+    queries = workload.generate(3600.0, trace.config.duration_s)
+    config = PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=6 * 3600.0,
+        min_training_epochs=256,
+        push_delta=1.0,
+        retune_interval_s=1e12,  # keep delta fixed across sweep points
+    )
+    report = PrestoSystem(trace, config, seed=43).run(queries=queries)
+    mix = report.answer_mix()
+    total = max(len(report.answers), 1)
+    pull_fraction = mix.get(AnswerSource.SENSOR_PULL.value, 0) / total
+    query_energy = sum(a.sensor_energy_j for a in report.answers)
+    return {
+        "pull_fraction": pull_fraction,
+        "mean_error": report.mean_error,
+        "success": report.success_rate,
+        "query_energy_j": query_energy,
+        "mean_latency_ms": report.mean_latency_s * 1000,
+    }
+
+
+PRECISIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+class TestExtrapolation:
+    def test_precision_sweep(self, trace):
+        rows = []
+        results = {}
+        for precision in PRECISIONS:
+            result = run_precision(trace, precision)
+            results[precision] = result
+            rows.append(
+                [
+                    f"{precision:g}",
+                    f"{100 * result['pull_fraction']:.1f}%",
+                    f"{result['mean_error']:.3f}",
+                    f"{100 * result['success']:.0f}%",
+                    f"{result['query_energy_j'] * 1000:.1f}",
+                    f"{result['mean_latency_ms']:.1f}",
+                ]
+            )
+        title = (
+            f"Extrapolation vs precision ({trace.n_sensors} sensors, "
+            f"{trace.config.duration_s / 86_400:.0f} days, push delta 1.0)"
+        )
+        write_result(
+            "extrapolation_precision",
+            format_table(
+                [
+                    "precision (C)",
+                    "pull frac",
+                    "mean err",
+                    "success",
+                    "query E (mJ)",
+                    "latency (ms)",
+                ],
+                rows,
+                title,
+            ),
+        )
+        # pulls decrease as precision relaxes
+        pulls = [results[p]["pull_fraction"] for p in PRECISIONS]
+        assert pulls[0] >= pulls[-1]
+        # query-attributable energy decreases too
+        energies = [results[p]["query_energy_j"] for p in PRECISIONS]
+        assert energies[0] >= energies[-1]
+        # error scales with (stays under) the asked precision
+        for precision in PRECISIONS:
+            assert results[precision]["mean_error"] < precision
+
+    def test_benchmark_loose_precision_run(self, benchmark, trace):
+        result = benchmark.pedantic(
+            run_precision, args=(trace, 1.0), rounds=1, iterations=1
+        )
+        assert result["success"] > 0.7

@@ -1,0 +1,100 @@
+"""Figure 2 — total energy vs batching interval, four strategies.
+
+Regenerates the paper's only quantitative figure: "Exploiting batching to
+conserve energy".  Series: Batched Push w/ Wavelet Denoising, Batched Push
+w/o Compression, Value-Driven Push (Delta=1), Value-Driven Push (Delta=2),
+over batching intervals 16.5 … 2116 minutes (x2 steps).
+
+Expected shape (paper): both batched series fall monotonically (per-packet
+overhead amortises; wavelet compression improves with batch length); the
+wavelet curve dominates; value-driven lines are flat with Δ=1 above Δ=2;
+batched-raw starts above Δ=1 and crosses below it as the interval grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_scale, format_table, write_result
+from repro.baselines.strategies import (
+    FIGURE2_BATCH_MINUTES,
+    batched_push_energy,
+    figure2_sweep,
+    figure2_trace_config,
+    value_driven_push_energy,
+)
+from repro.traces.intel_lab import IntelLabGenerator
+
+
+def _trace():
+    scale = bench_scale()
+    if scale == "paper":
+        config = figure2_trace_config(n_sensors=54, duration_days=38.0)
+    else:
+        config = figure2_trace_config(n_sensors=12, duration_days=4.0)
+    return IntelLabGenerator(config, seed=42).generate()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _trace()
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    return figure2_sweep(trace)
+
+
+class TestFigure2:
+    def test_regenerate_figure2(self, sweep, trace):
+        """Print the four series and assert the paper's shape."""
+        headers = ["batch (min)"] + [
+            "batched+wavelet (J)",
+            "batched raw (J)",
+            "value push d=1 (J)",
+            "value push d=2 (J)",
+        ]
+        rows = []
+        for i, minutes in enumerate(FIGURE2_BATCH_MINUTES):
+            rows.append(
+                [
+                    f"{minutes:g}",
+                    f"{sweep['batched_wavelet'][i][1]:.1f}",
+                    f"{sweep['batched_raw'][i][1]:.1f}",
+                    f"{sweep['value_push_delta1'][i][1]:.1f}",
+                    f"{sweep['value_push_delta2'][i][1]:.1f}",
+                ]
+            )
+        title = (
+            f"Figure 2: total energy vs batching interval "
+            f"({trace.n_sensors} sensors, "
+            f"{trace.config.duration_s / 86_400:.0f} days)"
+        )
+        write_result("figure2_batching", format_table(headers, rows, title))
+
+        wavelet = [e for _, e in sweep["batched_wavelet"]]
+        raw = [e for _, e in sweep["batched_raw"]]
+        d1 = [e for _, e in sweep["value_push_delta1"]]
+        d2 = [e for _, e in sweep["value_push_delta2"]]
+        assert all(a >= b for a, b in zip(wavelet, wavelet[1:]))
+        assert all(a >= b for a, b in zip(raw, raw[1:]))
+        assert all(w < r for w, r in zip(wavelet, raw))
+        assert d1[0] > d2[0]
+        assert raw[0] > d1[0] and raw[-1] < d1[-1]  # the paper's crossover
+
+    def test_benchmark_batched_wavelet(self, benchmark, trace):
+        """Time one wavelet-batched sweep point (the heavy kernel)."""
+        result = benchmark.pedantic(
+            batched_push_energy,
+            args=(trace, 132.0 * 60.0, "wavelet"),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.total_energy_j > 0
+
+    def test_benchmark_value_driven(self, benchmark, trace):
+        """Time the value-driven push scan."""
+        result = benchmark.pedantic(
+            value_driven_push_energy, args=(trace, 1.0), rounds=1, iterations=1
+        )
+        assert result.messages > 0

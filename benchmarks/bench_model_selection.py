@@ -1,0 +1,136 @@
+"""Design-choice ablation — does automatic model selection pay?
+
+DESIGN.md calls out the prediction engine's model family as a key design
+choice (Section 3 lists several candidates without committing).  This bench
+compares every fixed family against AIC-driven selection on two signal
+regimes: front-dominated indoor temperature (favours differenced models)
+and a strongly periodic activity-style signal (favours seasonal models).
+
+Expected outcome: no single fixed family wins both regimes; AIC selection
+tracks the best fixed family within a few percent on each — the argument
+for shipping the selector rather than hard-coding a model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_result
+from repro.timeseries.ar import ARModel
+from repro.timeseries.arima import ARIMAModel
+from repro.timeseries.markov import MarkovChainModel
+from repro.timeseries.seasonal import SeasonalProfileModel
+from repro.timeseries.selection import one_step_residuals, select_best_model
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+
+PERIOD_S = 300.0
+SAMPLES_PER_DAY = int(86_400.0 / PERIOD_S)
+
+
+def front_signal(days=6, seed=81):
+    """Indoor temperature dominated by weather fronts (5-min epochs)."""
+    config = IntelLabConfig(
+        n_sensors=1,
+        duration_s=days * 86_400.0,
+        epoch_s=PERIOD_S,
+        front_std_c=2.0,
+        diurnal_amplitude_c=1.0,
+        hvac_amplitude_c=0.0,
+        spike_rate_per_day=0.0,
+    )
+    return IntelLabGenerator(config, seed=seed).generate().values[0]
+
+
+def periodic_signal(days=6, seed=82):
+    """Activity-style signal: strong daily periodicity, weak drift."""
+    rng = np.random.default_rng(seed)
+    n = days * SAMPLES_PER_DAY
+    t = np.arange(n) * PERIOD_S
+    hours = (t % 86_400.0) / 3600.0
+    level = np.select(
+        [hours < 7, hours < 9, hours < 18, hours < 22],
+        [0.5, 6.0, 3.5, 5.0],
+        default=0.5,
+    )
+    return level + rng.normal(0, 0.3, n)
+
+
+def factories():
+    return {
+        "ar(2)": lambda: ARModel(order=2, sample_period_s=PERIOD_S),
+        "arima(1,1,0)": lambda: ARIMAModel(order=(1, 1, 0), sample_period_s=PERIOD_S),
+        "seasonal(48)": lambda: SeasonalProfileModel(
+            bins=48, sample_period_s=PERIOD_S
+        ),
+        "markov(32)": lambda: MarkovChainModel(
+            n_states=32, sample_period_s=PERIOD_S
+        ),
+    }
+
+
+def one_step_rmse(model, test):
+    residuals = one_step_residuals(model, test)
+    return float(np.sqrt(np.mean(residuals**2)))
+
+
+def evaluate(signal):
+    """Fixed-family RMSEs plus the AIC-selected model's RMSE."""
+    split_a = 4 * SAMPLES_PER_DAY
+    split_b = 5 * SAMPLES_PER_DAY
+    train, validation, test = (
+        signal[:split_a],
+        signal[split_a:split_b],
+        signal[split_b:],
+    )
+    rmses = {}
+    for name, factory in factories().items():
+        model = factory().fit(np.concatenate([train, validation]))
+        rmses[name] = one_step_rmse(model, test.copy())
+    selected, _ = select_best_model(train, validation, list(factories().values()))
+    rmses["selected"] = one_step_rmse(selected, test.copy())
+    rmses["_selected_family"] = str(selected.spec())
+    return rmses
+
+
+class TestModelSelection:
+    def test_no_single_family_wins_everywhere(self):
+        front = evaluate(front_signal())
+        periodic = evaluate(periodic_signal())
+        rows = []
+        for name in list(factories()) + ["selected"]:
+            rows.append([name, f"{front[name]:.3f}", f"{periodic[name]:.3f}"])
+        title = (
+            "One-step RMSE by model family and signal regime "
+            f"(selected: {front['_selected_family']} on fronts, "
+            f"{periodic['_selected_family']} on periodic)"
+        )
+        write_result(
+            "model_selection",
+            format_table(
+                ["model", "front-dominated", "periodic"], rows, title
+            ),
+        )
+        fixed = list(factories())
+        best_front = min(fixed, key=lambda n: front[n])
+        best_periodic = min(fixed, key=lambda n: periodic[n])
+        # the regimes prefer different families...
+        assert front[best_periodic] > front[best_front] or \
+            periodic[best_front] > periodic[best_periodic]
+        # ...and selection stays within 25% of each regime's best
+        assert front["selected"] <= front[best_front] * 1.25
+        assert periodic["selected"] <= periodic[best_periodic] * 1.25
+
+    def test_benchmark_selection_cost(self, benchmark):
+        signal = front_signal()
+        split_a, split_b = 4 * SAMPLES_PER_DAY, 5 * SAMPLES_PER_DAY
+
+        def select():
+            return select_best_model(
+                signal[:split_a],
+                signal[split_a:split_b],
+                list(factories().values()),
+            )
+
+        winner, _ = benchmark.pedantic(select, rounds=1, iterations=1)
+        assert winner is not None

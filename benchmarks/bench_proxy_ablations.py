@@ -1,0 +1,153 @@
+"""Design-choice ablations on the proxy: spatial extrapolation, cache size.
+
+Two knobs DESIGN.md calls out:
+
+* **Spatial extrapolation** (Section 2: "cached data from other nearby
+  sensors ... can be used for such extrapolation").  Turning it off forces
+  the proxy to answer tight-precision misses with archive pulls instead of
+  conditioning on neighbours.
+* **Summary-cache size.**  The cache is the proxy's working set; shrinking
+  it forces PAST queries outside the retained window into archive pulls.
+
+Expected shapes: disabling spatial conditioning raises pulls (and their
+sensor energy) on correlated deployments; shrinking the cache raises pulls
+for deep-history queries while leaving NOW behaviour untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, format_table, write_result
+from repro.core import PrestoConfig, PrestoSystem
+from repro.core.queries import AnswerSource
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import QueryWorkloadConfig, QueryWorkloadGenerator
+
+
+def _trace():
+    scale = bench_scale()
+    n_sensors = 8 if scale == "paper" else 5
+    days = 3.0 if scale == "paper" else 1.5
+    config = IntelLabConfig(
+        n_sensors=n_sensors,
+        duration_s=days * 86_400.0,
+        epoch_s=31.0,
+        sensor_offset_std_c=0.3,   # strongly correlated neighbours
+        sensor_gain_std=0.05,
+    )
+    return IntelLabGenerator(config, seed=95).generate()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _trace()
+
+
+def run_cell(trace, spatial, cache_entries, precision=0.4, seed=96):
+    workload = QueryWorkloadGenerator(
+        trace.n_sensors,
+        QueryWorkloadConfig(
+            arrival_rate_per_s=1 / 240.0,
+            precision=precision,
+            precision_jitter=0.0,
+            past_horizon_s=trace.config.duration_s,
+        ),
+        np.random.default_rng(seed),
+    )
+    queries = workload.generate(3600.0, trace.config.duration_s)
+    config = PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=6 * 3600.0,
+        min_training_epochs=256,
+        spatial_extrapolation=spatial,
+        cache_entries_per_sensor=cache_entries,
+        retune_interval_s=1e12,
+        push_delta=1.0,
+    )
+    report = PrestoSystem(trace, config, seed=seed).run(queries=queries)
+    mix = report.answer_mix()
+    total = max(len(report.answers), 1)
+    return {
+        "pull_frac": mix.get(AnswerSource.SENSOR_PULL.value, 0) / total,
+        "spatial_frac": mix.get(AnswerSource.SPATIAL.value, 0) / total,
+        "query_energy_j": sum(a.sensor_energy_j for a in report.answers),
+        "success": report.success_rate,
+        "mean_error": report.mean_error,
+    }
+
+
+class TestSpatialAblation:
+    def test_spatial_reduces_pulls(self, trace):
+        with_spatial = run_cell(trace, spatial=True, cache_entries=20_000)
+        without = run_cell(trace, spatial=False, cache_entries=20_000)
+        rows = [
+            [
+                "spatial on",
+                f"{100 * with_spatial['pull_frac']:.1f}%",
+                f"{100 * with_spatial['spatial_frac']:.1f}%",
+                f"{with_spatial['query_energy_j'] * 1000:.1f}",
+                f"{100 * with_spatial['success']:.0f}%",
+                f"{with_spatial['mean_error']:.3f}",
+            ],
+            [
+                "spatial off",
+                f"{100 * without['pull_frac']:.1f}%",
+                f"{100 * without['spatial_frac']:.1f}%",
+                f"{without['query_energy_j'] * 1000:.1f}",
+                f"{100 * without['success']:.0f}%",
+                f"{without['mean_error']:.3f}",
+            ],
+        ]
+        write_result(
+            "proxy_ablation_spatial",
+            format_table(
+                ["config", "pull frac", "spatial frac", "query E (mJ)",
+                 "success", "mean err"],
+                rows,
+                f"Spatial extrapolation ablation ({trace.n_sensors} correlated "
+                f"sensors, precision 0.4C)",
+            ),
+        )
+        assert with_spatial["spatial_frac"] > 0.0
+        assert without["spatial_frac"] == 0.0
+        assert with_spatial["pull_frac"] <= without["pull_frac"]
+        assert with_spatial["query_energy_j"] <= without["query_energy_j"] * 1.05
+
+    def test_cache_size_sweep(self, trace):
+        rows = []
+        results = {}
+        for entries in (500, 2_000, 20_000):
+            result = run_cell(trace, spatial=True, cache_entries=entries)
+            results[entries] = result
+            rows.append(
+                [
+                    str(entries),
+                    f"{100 * result['pull_frac']:.1f}%",
+                    f"{result['query_energy_j'] * 1000:.1f}",
+                    f"{100 * result['success']:.0f}%",
+                ]
+            )
+        write_result(
+            "proxy_ablation_cache",
+            format_table(
+                ["cache entries/sensor", "pull frac", "query E (mJ)", "success"],
+                rows,
+                "Summary-cache size ablation (PAST queries over full history)",
+            ),
+        )
+        # a small cache forces more pulls than a large one
+        assert results[500]["pull_frac"] >= results[20_000]["pull_frac"]
+        # but correctness is preserved throughout (archive backstops)
+        for result in results.values():
+            assert result["success"] > 0.8
+
+    def test_benchmark_spatial_run(self, benchmark, trace):
+        result = benchmark.pedantic(
+            run_cell,
+            args=(trace, True, 20_000),
+            rounds=1,
+            iterations=1,
+        )
+        assert result["success"] > 0.8

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures and table printing.
+
+Benchmarks double as the reproduction harness: each prints the rows/series
+of the paper artefact it regenerates (visible with ``pytest -s`` and always
+written under ``benchmarks/results/``) and uses pytest-benchmark for timing.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    ``small`` (default) runs minutes-long configurations;
+    ``paper`` runs the full 54-sensor, multi-week configurations.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Current scale: 'small' or 'paper'."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|paper, got {scale!r}")
+    return scale
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Benchmark scale fixture."""
+    return bench_scale()

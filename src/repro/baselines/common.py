@@ -1,0 +1,225 @@
+"""Shared machinery for the Table 1 architecture comparison.
+
+Every baseline runs over the *same* trace, query workload, radio/energy
+constants and link model as PRESTO itself, and reports through the same
+:class:`BaselineReport` so the comparison benchmark can print one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.queries import QueryAnswer
+from repro.energy.constants import NodeEnergyProfile, MICA2_PROFILE
+from repro.energy.duty_cycle import DutyCycleConfig, lpl_average_power
+from repro.energy.meter import EnergyMeter
+from repro.energy.radio_energy import transfer_energy, receive_energy
+from repro.traces.intel_lab import TraceSet
+from repro.traces.workload import Query, QueryKind
+
+#: bytes of one pushed/streamed reading record (value + epoch header)
+READING_BYTES = 12
+#: bytes of a query/interest message
+QUERY_BYTES = 16
+#: proxy/server-side processing latency
+SERVER_PROCESSING_S = 0.02
+
+
+@dataclass
+class BaselineReport:
+    """Comparable outcome of one architecture run (subset of SystemReport)."""
+
+    name: str
+    duration_s: float
+    n_sensors: int
+    answers: list[QueryAnswer]
+    truths: list[float | None]
+    sensor_energy_j: float
+    per_sensor_energy_j: list[float]
+    messages: int
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean answer latency over all queries."""
+        if not self.answers:
+            return 0.0
+        return float(np.mean([a.latency_s for a in self.answers]))
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of queries that produced any value."""
+        if not self.answers:
+            return 1.0
+        return float(np.mean([a.answered for a in self.answers]))
+
+    @property
+    def mean_error(self) -> float:
+        """Mean absolute error where ground truth is known."""
+        errors = [
+            abs(a.value - t)
+            for a, t in zip(self.answers, self.truths)
+            if a.value is not None and t is not None
+        ]
+        return float(np.mean(errors)) if errors else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Answered within precision and latency bounds."""
+        if not self.answers:
+            return 1.0
+        good = 0
+        for answer, truth in zip(self.answers, self.truths):
+            if not answer.answered or not answer.met_latency:
+                continue
+            if truth is not None and answer.value is not None:
+                if abs(answer.value - truth) > answer.query.precision:
+                    continue
+            good += 1
+        return good / len(self.answers)
+
+    def success_rate_kind(self, *kinds: QueryKind) -> float:
+        """Success restricted to the given query kinds (NOW vs PAST split)."""
+        pairs = [
+            (a, t)
+            for a, t in zip(self.answers, self.truths)
+            if a.query.kind in kinds
+        ]
+        if not pairs:
+            return 1.0
+        good = 0
+        for answer, truth in pairs:
+            if not answer.answered or not answer.met_latency:
+                continue
+            if truth is not None and answer.value is not None:
+                if abs(answer.value - truth) > answer.query.precision:
+                    continue
+            good += 1
+        return good / len(pairs)
+
+    @property
+    def sensor_energy_per_day_j(self) -> float:
+        """Mean sensor energy per node-day."""
+        days = self.duration_s / 86_400.0
+        if days <= 0 or self.n_sensors == 0:
+            return 0.0
+        return self.sensor_energy_j / self.n_sensors / days
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for the comparison table."""
+        return {
+            "sensor_energy_per_day_j": self.sensor_energy_per_day_j,
+            "mean_latency_s": self.mean_latency_s,
+            "success_rate": self.success_rate,
+            "now_success": self.success_rate_kind(QueryKind.NOW),
+            "past_success": self.success_rate_kind(
+                QueryKind.PAST_POINT, QueryKind.PAST_RANGE, QueryKind.PAST_AGG
+            ),
+            "mean_error": self.mean_error,
+            "answered_fraction": self.answered_fraction,
+            "messages": float(self.messages),
+        }
+
+
+class BaselineArchitecture:
+    """Base class: trace access, ground truth, and energy helpers."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        profile: NodeEnergyProfile = MICA2_PROFILE,
+        check_interval_s: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.trace = trace
+        self.profile = profile
+        self.duty_cycle = DutyCycleConfig(check_interval_s=check_interval_s)
+        self.rng = rng or np.random.default_rng(0)
+        self.meters = [EnergyMeter(f"sensor{i}") for i in range(trace.n_sensors)]
+        self.messages = 0
+
+    # -- trace helpers ----------------------------------------------------------
+
+    def reading_at(self, sensor: int, timestamp: float) -> float | None:
+        """Trace value at the epoch containing *timestamp* (None if dropped)."""
+        epoch = self.trace.epoch_of(min(timestamp, self.trace.timestamps[-1]))
+        value = self.trace.values[sensor, epoch]
+        return None if np.isnan(value) else float(value)
+
+    def truth_for(self, query: Query) -> float | None:
+        """Ground truth for success accounting (same rule as PrestoSystem)."""
+        if query.kind in (QueryKind.NOW, QueryKind.PAST_POINT):
+            target = (
+                query.arrival_time
+                if query.kind is QueryKind.NOW
+                else query.target_time
+            )
+            return self.reading_at(query.sensor, target)
+        start, end = query.target_time, query.target_time + query.window_s
+        mask = (self.trace.timestamps >= start) & (self.trace.timestamps <= end)
+        window = self.trace.values[query.sensor, mask]
+        window = window[~np.isnan(window)]
+        if window.size == 0:
+            return None
+        if query.aggregate == "mean":
+            return float(np.mean(window))
+        if query.aggregate == "min":
+            return float(np.min(window))
+        return float(np.max(window))
+
+    # -- energy helpers -----------------------------------------------------------
+
+    def charge_uplink(self, sensor: int, payload_bytes: int, category: str) -> None:
+        """Sensor→server transfer (short preamble, server always on)."""
+        self.meters[sensor].charge(
+            category, transfer_energy(self.profile.radio, payload_bytes)
+        )
+        self.messages += 1
+
+    def charge_downlink_rx(self, sensor: int, payload_bytes: int) -> None:
+        """Sensor-side RX cost of hearing a server message."""
+        self.meters[sensor].charge(
+            "radio.rx", receive_energy(self.profile.radio, payload_bytes)
+        )
+
+    def charge_idle(self, duration_s: float) -> None:
+        """LPL idle listening for the whole fleet."""
+        power = lpl_average_power(self.profile.radio, self.duty_cycle)
+        for meter in self.meters:
+            meter.charge("radio.lpl", power * duration_s)
+
+    def downlink_latency_s(self, payload_bytes: int = QUERY_BYTES) -> float:
+        """Mean latency to wake + deliver a message to a duty-cycled sensor."""
+        airtime = (
+            self.duty_cycle.lpl_preamble_bytes(self.profile.radio) + payload_bytes
+        ) * self.profile.radio.byte_time_s
+        return self.duty_cycle.check_interval_s / 2.0 + airtime
+
+    def uplink_latency_s(self, payload_bytes: int) -> float:
+        """Latency of a sensor→server transfer."""
+        radio = self.profile.radio
+        overhead = radio.preamble_bytes + radio.header_bytes + radio.crc_bytes
+        return (overhead + payload_bytes) * radio.byte_time_s
+
+    # -- report -------------------------------------------------------------------
+
+    def build_report(
+        self,
+        answers: list[QueryAnswer],
+        truths: list[float | None],
+        duration_s: float,
+    ) -> BaselineReport:
+        """Assemble the comparable report."""
+        return BaselineReport(
+            name=self.name,
+            duration_s=duration_s,
+            n_sensors=self.trace.n_sensors,
+            answers=answers,
+            truths=truths,
+            sensor_energy_j=float(sum(m.total_j for m in self.meters)),
+            per_sensor_energy_j=[m.total_j for m in self.meters],
+            messages=self.messages,
+        )

@@ -1,0 +1,178 @@
+"""Command-line entry points: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro figure2 [--sensors N] [--days D]
+    python -m repro table1  [--sensors N] [--days D]
+    python -m repro run     [--sensors N] [--days D] [--model KIND]
+    python -m repro models  [--days D]
+
+``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
+one PRESTO cell and prints its report; ``models`` compares push suppression
+across every model family on one trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import (
+    BbqArchitecture,
+    DirectQueryingArchitecture,
+    StreamingArchitecture,
+    ValuePushArchitecture,
+)
+from repro.baselines.strategies import (
+    FIGURE2_BATCH_MINUTES,
+    figure2_sweep,
+    figure2_trace_config,
+)
+from repro.core import PrestoConfig, PrestoSystem
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import QueryWorkloadConfig, QueryWorkloadGenerator
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sensors", type=int, default=8, help="mote count")
+    parser.add_argument("--days", type=float, default=2.0, help="trace length")
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    """Regenerate Figure 2 (batching-interval energy sweep)."""
+    config = figure2_trace_config(n_sensors=args.sensors, duration_days=args.days)
+    trace = IntelLabGenerator(config, seed=args.seed).generate()
+    series = figure2_sweep(trace)
+    names = list(series)
+    print(f"{'batch(min)':>12}" + "".join(f"{name:>22}" for name in names))
+    for i, minutes in enumerate(FIGURE2_BATCH_MINUTES):
+        row = f"{minutes:>12.4g}"
+        for name in names:
+            row += f"{series[name][i][1]:>22.1f}"
+        print(row)
+    return 0
+
+
+def _workload(trace, seed):
+    generator = QueryWorkloadGenerator(
+        trace.n_sensors,
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 180.0),
+        np.random.default_rng(seed + 1),
+    )
+    return generator.generate(3600.0, trace.config.duration_s)
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate the quantified Table 1 architecture comparison."""
+    trace_config = IntelLabConfig(
+        n_sensors=args.sensors, duration_s=args.days * 86_400.0, epoch_s=31.0
+    )
+    trace = IntelLabGenerator(trace_config, seed=args.seed).generate()
+    queries = _workload(trace, args.seed)
+    duration = trace_config.duration_s
+    print(f"{'architecture':>14} {'E/day(J)':>9} {'lat(ms)':>8} "
+          f"{'NOW':>5} {'PAST':>5} {'err':>6}")
+    for arch in (
+        DirectQueryingArchitecture(trace, flood=True),
+        DirectQueryingArchitecture(trace, flood=False),
+        BbqArchitecture(trace),
+        StreamingArchitecture(trace),
+        ValuePushArchitecture(trace, delta=1.0),
+    ):
+        report = arch.run(queries, duration)
+        s = report.summary()
+        print(f"{report.name:>14} {s['sensor_energy_per_day_j']:>9.2f} "
+              f"{s['mean_latency_s'] * 1000:>8.1f} {s['now_success']:>5.2f} "
+              f"{s['past_success']:>5.2f} {s['mean_error']:>6.3f}")
+    presto = PrestoSystem(
+        trace,
+        PrestoConfig(sample_period_s=31.0, refit_interval_s=6 * 3600.0),
+        seed=args.seed,
+    ).run(queries=queries)
+    s = presto.summary()
+    days = presto.duration_s / 86_400.0
+    print(f"{'presto':>14} {presto.sensor_energy_j / presto.n_sensors / days:>9.2f} "
+          f"{s['mean_latency_s'] * 1000:>8.1f} {'':>5} {'':>5} "
+          f"{s['mean_error']:>6.3f}   (success {s['success_rate']:.2f})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one PRESTO cell and print the full report."""
+    trace_config = IntelLabConfig(
+        n_sensors=args.sensors, duration_s=args.days * 86_400.0, epoch_s=31.0
+    )
+    trace = IntelLabGenerator(trace_config, seed=args.seed).generate()
+    queries = _workload(trace, args.seed)
+    config = PrestoConfig(
+        sample_period_s=31.0,
+        model_kind=args.model,
+        refit_interval_s=6 * 3600.0,
+    )
+    report = PrestoSystem(trace, config, seed=args.seed).run(queries=queries)
+    for key, value in report.summary().items():
+        print(f"{key:26s} {value:.4f}")
+    print(f"{'answer_mix':26s} {report.answer_mix()}")
+    print(f"{'energy_by_category':26s}")
+    for category, joules in sorted(report.sensor_energy_by_category.items()):
+        print(f"  {category:24s} {joules:.3f} J")
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """Compare push suppression across model families."""
+    trace_config = IntelLabConfig(
+        n_sensors=4, duration_s=args.days * 86_400.0, epoch_s=31.0
+    )
+    trace = IntelLabGenerator(trace_config, seed=args.seed).generate()
+    print(f"{'model':>10} {'push fraction':>14} {'E/day (J)':>10}")
+    kinds = ["arima", "ar", "seasonal", "markov"]
+    if args.days >= 3:
+        kinds.append("sarima")  # needs two full seasons of training
+    for kind in kinds:
+        config = PrestoConfig(
+            sample_period_s=31.0,
+            model_kind=kind,
+            refit_interval_s=6 * 3600.0,
+            retune_interval_s=1e12,
+        )
+        report = PrestoSystem(trace, config, seed=args.seed).run()
+        total = report.n_sensors * trace.n_epochs
+        fraction = (report.pushes + report.cold_pushes) / total
+        days = report.duration_s / 86_400.0
+        print(f"{kind:>10} {100 * fraction:>13.1f}% "
+              f"{report.sensor_energy_j / report.n_sensors / days:>10.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate PRESTO (HotOS 2005) experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler, extra in (
+        ("figure2", cmd_figure2, None),
+        ("table1", cmd_table1, None),
+        ("run", cmd_run, "model"),
+        ("models", cmd_models, None),
+    ):
+        sub = subparsers.add_parser(name, help=handler.__doc__)
+        _add_common(sub)
+        if extra == "model":
+            sub.add_argument(
+                "--model",
+                default="arima",
+                choices=("arima", "ar", "seasonal", "markov", "sarima"),
+            )
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

@@ -1,0 +1,60 @@
+"""PRESTO core: the paper's primary contribution.
+
+The pieces map one-to-one onto the architecture of Figure 1:
+
+* :mod:`repro.core.push` — the model-driven push protocol (proxy builds the
+  model, sensor verifies readings against it, silence means "as predicted");
+* :mod:`repro.core.cache` — the proxy's summary cache with progressive
+  refinement;
+* :mod:`repro.core.prediction` — the prediction engine (model fitting,
+  temporal + spatial extrapolation, confidence);
+* :mod:`repro.core.matching` — query–sensor matching (duty cycle, batching,
+  compression tuned to query needs);
+* :mod:`repro.core.sensor` / :mod:`repro.core.proxy` — the two active tiers;
+* :mod:`repro.core.unified` — the single logical view over many proxies;
+* :mod:`repro.core.system` — the simulation harness that wires a whole
+  deployment together and replays traces + query workloads.
+"""
+
+from repro.core.config import PrestoConfig
+from repro.core.queries import AnswerSource, QueryAnswer
+from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.continuous import (
+    ContinuousQuery,
+    ContinuousQueryEngine,
+    Notification,
+    TriggerKind,
+)
+from repro.core.push import ModelUpdate, ProxyModelTracker, PushDecision, SensorModelChecker
+from repro.core.prediction import PredictionEngine
+from repro.core.matching import QueryProfile, QuerySensorMatcher, SensorOperatingPoint
+from repro.core.sensor import PrestoSensor
+from repro.core.proxy import PrestoProxy
+from repro.core.unified import UnifiedStore
+from repro.core.system import PrestoSystem, SystemReport
+
+__all__ = [
+    "PrestoConfig",
+    "AnswerSource",
+    "QueryAnswer",
+    "CacheEntry",
+    "EntrySource",
+    "SummaryCache",
+    "ContinuousQuery",
+    "ContinuousQueryEngine",
+    "Notification",
+    "TriggerKind",
+    "ModelUpdate",
+    "ProxyModelTracker",
+    "PushDecision",
+    "SensorModelChecker",
+    "PredictionEngine",
+    "QueryProfile",
+    "QuerySensorMatcher",
+    "SensorOperatingPoint",
+    "PrestoSensor",
+    "PrestoProxy",
+    "UnifiedStore",
+    "PrestoSystem",
+    "SystemReport",
+]

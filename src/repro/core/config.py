@@ -1,0 +1,67 @@
+"""Deployment-wide configuration for a PRESTO cell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.constants import MICA2_PROFILE, NodeEnergyProfile
+from repro.radio.link import LinkConfig
+
+
+@dataclass(frozen=True)
+class PrestoConfig:
+    """All tunables of one proxy + sensors cell.
+
+    Defaults are sized for the Intel-Lab-style temperature workload: 31 s
+    sampling, half-hourly seasonal bins, 1 °C push tolerance (the paper's
+    Figure 2 sweeps Δ=1 and Δ=2).
+    """
+
+    # sampling & modelling
+    sample_period_s: float = 31.0
+    push_delta: float = 1.0              # model-failure threshold (signal units)
+    model_kind: str = "arima"            # seasonal | ar | arima | markov
+    seasonal_bins: int = 48
+    ar_order: int = 2
+    arima_order: tuple[int, int, int] = (1, 1, 0)
+    markov_states: int = 32
+    training_epochs: int = 2_880         # fit window (~1 day at 30 s)
+    refit_interval_s: float = 86_400.0   # ship a fresh model daily
+    min_training_epochs: int = 256       # before this, everything is pushed
+    retune_interval_s: float = 3_600.0   # query-sensor matching cadence
+
+    # radio / MAC
+    node_profile: NodeEnergyProfile = field(default_factory=lambda: MICA2_PROFILE)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    default_check_interval_s: float = 1.0
+    lpl_check_duration_s: float = 3.0e-3
+
+    # archive
+    flash_capacity_bytes: int | None = None   # None = device default
+    segment_readings: int = 128
+    aging_max_level: int = 4
+
+    # proxy cache & extrapolation
+    cache_entries_per_sensor: int = 20_000
+    proxy_processing_s: float = 0.02     # local query handling latency
+    confidence_z: float = 1.0            # std multiplier vs query precision
+    spatial_extrapolation: bool = True
+
+    # batching (0 = push immediately on model failure)
+    batch_interval_s: float = 0.0
+    batch_quant_step: float = 0.05
+    batch_use_wavelet: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        if self.push_delta <= 0:
+            raise ValueError("push delta must be positive")
+        if self.model_kind not in ("seasonal", "ar", "arima", "markov", "sarima"):
+            raise ValueError(f"unknown model kind {self.model_kind!r}")
+        if self.training_epochs < 32:
+            raise ValueError("training window unreasonably small")
+        if self.min_training_epochs < 2:
+            raise ValueError("min training epochs must be >= 2")
+        if self.batch_interval_s < 0:
+            raise ValueError("batch interval must be >= 0")

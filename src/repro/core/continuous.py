@@ -1,0 +1,143 @@
+"""Continuous (standing) queries — the extension Section 2 reserves.
+
+"Although the PRESTO architecture does not preclude continual queries, in
+this paper, we focus on ... one-time queries."  This module supplies the
+missing piece: users register *standing* predicates ("notify me when sensor
+3 exceeds 30 °C", "when any reading moves more than 2° in an epoch") and
+the proxy evaluates them against every cache update — pushed readings,
+batch deliveries and model substitutions alike.
+
+The design exploits the push protocol: a threshold crossing is, almost by
+definition, a model failure, so the triggering reading arrives as a push
+within one epoch.  Registering a continuous query therefore also *narrows*
+the sensor's push delta when the armed threshold sits close to the current
+prediction — the query-sensor matching rule the NSDI successor ships.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.cache import CacheEntry
+
+_query_ids = itertools.count()
+
+
+class TriggerKind(enum.Enum):
+    """Predicate families supported by the engine."""
+
+    ABOVE = "above"          # value > threshold
+    BELOW = "below"          # value < threshold
+    DELTA = "delta"          # |value - previous| > threshold
+
+
+@dataclass(frozen=True)
+class ContinuousQuery:
+    """A standing predicate over one sensor."""
+
+    sensor: int
+    kind: TriggerKind
+    threshold: float
+    min_interval_s: float = 0.0     # notification rate limit (0 = every hit)
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind is TriggerKind.DELTA and self.threshold <= 0:
+            raise ValueError("delta triggers need a positive threshold")
+        if self.min_interval_s < 0:
+            raise ValueError("min interval must be >= 0")
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One firing of a continuous query."""
+
+    query_id: int
+    sensor: int
+    timestamp: float
+    value: float
+    from_actual: bool        # triggered by sensor data vs a model substitution
+
+
+class ContinuousQueryEngine:
+    """Evaluates standing queries against the proxy's cache stream."""
+
+    def __init__(self) -> None:
+        self._queries: dict[int, ContinuousQuery] = {}
+        self._last_value: dict[tuple[int, int], float] = {}
+        self._last_fired: dict[int, float] = {}
+        self.notifications: list[Notification] = []
+        self.evaluations = 0
+
+    def register(self, query: ContinuousQuery) -> int:
+        """Arm a standing query; returns its id."""
+        self._queries[query.query_id] = query
+        return query.query_id
+
+    def cancel(self, query_id: int) -> None:
+        """Disarm a standing query."""
+        self._queries.pop(query_id, None)
+
+    @property
+    def active(self) -> list[ContinuousQuery]:
+        """Currently armed queries."""
+        return list(self._queries.values())
+
+    def tightest_threshold_gap(self, sensor: int, current_value: float) -> float | None:
+        """Distance from *current_value* to the nearest armed threshold.
+
+        The matcher uses this to narrow the sensor's push delta when a
+        standing query is about to fire ("arm the tripwire").  None when no
+        level queries are armed on the sensor.
+        """
+        gaps = []
+        for query in self._queries.values():
+            if query.sensor != sensor:
+                continue
+            if query.kind in (TriggerKind.ABOVE, TriggerKind.BELOW):
+                gaps.append(abs(query.threshold - current_value))
+            else:
+                gaps.append(query.threshold)
+        return min(gaps) if gaps else None
+
+    def on_entry(self, sensor: int, entry: CacheEntry) -> list[Notification]:
+        """Feed one cache update; returns the notifications it fired."""
+        fired: list[Notification] = []
+        for query in self._queries.values():
+            if query.sensor != sensor:
+                continue
+            self.evaluations += 1
+            if not self._matches(query, sensor, entry):
+                continue
+            last = self._last_fired.get(query.query_id)
+            if last is not None and entry.timestamp - last < query.min_interval_s:
+                continue
+            notification = Notification(
+                query_id=query.query_id,
+                sensor=sensor,
+                timestamp=entry.timestamp,
+                value=entry.value,
+                from_actual=entry.is_actual,
+            )
+            self._last_fired[query.query_id] = entry.timestamp
+            self.notifications.append(notification)
+            fired.append(notification)
+        key = (sensor, 0)
+        self._last_value[key] = entry.value
+        return fired
+
+    def _matches(self, query: ContinuousQuery, sensor: int, entry: CacheEntry) -> bool:
+        if query.kind is TriggerKind.ABOVE:
+            return entry.value > query.threshold
+        if query.kind is TriggerKind.BELOW:
+            return entry.value < query.threshold
+        previous = self._last_value.get((sensor, 0))
+        if previous is None:
+            return False
+        return abs(entry.value - previous) > query.threshold
+
+    def notifications_for(self, query_id: int) -> list[Notification]:
+        """All notifications a query has produced."""
+        return [n for n in self.notifications if n.query_id == query_id]

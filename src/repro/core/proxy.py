@@ -1,0 +1,588 @@
+"""The PRESTO proxy.
+
+Implements the full Section 3 component: the summary cache, the prediction
+engine driving model-driven push, extrapolation-based cache-miss masking,
+pull-on-miss against sensor archives, and query–sensor matching.
+
+Epoch bookkeeping: sensor ``k`` samples at ``t = epoch * sample_period``.
+The proxy advances each sensor's model tracker lazily — on pushes (up to the
+pushed epoch) and at query time (up to the current epoch minus a small
+grace period so an in-flight push is not preempted by a silent advance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.continuous import ContinuousQueryEngine
+from repro.core.config import PrestoConfig
+from repro.core.matching import QuerySensorMatcher, SensorOperatingPoint
+from repro.core.prediction import Estimate, PredictionEngine
+from repro.core.push import ModelUpdate, ProxyModelTracker
+from repro.core.queries import AnswerSource, QueryAnswer
+from repro.core.sensor import PrestoSensor, PULL_REQUEST_BYTES
+from repro.energy.meter import EnergyMeter
+from repro.radio.network import Network
+from repro.radio.packet import Packet, PacketKind
+from repro.simulation.kernel import Simulator
+from repro.sync.protocol import TimeSyncProtocol
+from repro.traces.workload import Query, QueryKind
+
+#: epochs of slack between "model fitted" and "model active" so a slow LPL
+#: downlink can never desynchronise the replicas
+ACTIVATION_LAG_EPOCHS = 20
+
+#: seconds of grace before silently advancing past an epoch whose push may
+#: still be in flight
+PUSH_GRACE_S = 1.0
+
+
+@dataclass
+class _SensorState:
+    """Proxy-side bookkeeping for one sensor."""
+
+    tracker: ProxyModelTracker | None = None
+    pending: ModelUpdate | None = None
+    last_epoch: int = -1           # newest epoch reflected in the cache
+    pushes_received: int = 0
+    batches_received: int = 0
+    push_losses_detected: int = 0
+
+
+@dataclass
+class PullStats:
+    """Counters for archive pulls."""
+
+    requests: int = 0
+    failures: int = 0
+    bytes_pulled: int = 0
+
+
+class PrestoProxy:
+    """Tethered proxy managing a cell of PRESTO sensors."""
+
+    def __init__(
+        self,
+        name: str,
+        config: PrestoConfig,
+        sim: Simulator,
+        network: Network,
+        meter: EnergyMeter,
+        n_sensors: int,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.meter = meter
+        self.n_sensors = int(n_sensors)
+        self.cache = SummaryCache(config.cache_entries_per_sensor)
+        self.engine = PredictionEngine(config, n_sensors)
+        self.matcher = QuerySensorMatcher(config)
+        self.sync = TimeSyncProtocol()
+        self._states: dict[int, _SensorState] = {
+            s: _SensorState() for s in range(self.n_sensors)
+        }
+        self._sensors: dict[int, PrestoSensor] = {}
+        self.continuous = ContinuousQueryEngine()
+        self.pull_stats = PullStats()
+        self.queries_processed = 0
+        self.answers: list[QueryAnswer] = []
+        self._operating_points: dict[int, SensorOperatingPoint] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_sensor(self, sensor: PrestoSensor) -> None:
+        """Attach a sensor object (for synchronous pull round-trips)."""
+        self._sensors[sensor.sensor_id] = sensor
+
+    def sensor_name(self, sensor_id: int) -> str:
+        """Network name of a sensor."""
+        return self._sensors[sensor_id].name
+
+    def _insert_entry(self, sensor: int, entry: CacheEntry) -> None:
+        """Insert into the cache and evaluate standing queries."""
+        self.cache.insert(sensor, entry)
+        self.continuous.on_entry(sensor, entry)
+
+    # -- epoch arithmetic ----------------------------------------------------------
+
+    def epoch_time(self, epoch: int) -> float:
+        """Sampling instant of *epoch*."""
+        return epoch * self.config.sample_period_s
+
+    def current_epoch(self, grace_s: float = PUSH_GRACE_S) -> int:
+        """Largest epoch safely assumed complete at the current time."""
+        return int((self.sim.now - grace_s) // self.config.sample_period_s)
+
+    # -- receive path ------------------------------------------------------------
+
+    def on_receive(self, packet: Packet) -> None:
+        """Network delivery callback (pushes, batches)."""
+        if packet.kind is PacketKind.PUSH:
+            self._handle_push(packet.payload)
+        elif packet.kind is PacketKind.BATCH:
+            self._handle_batch(packet.payload)
+        else:
+            raise ValueError(f"proxy cannot handle {packet.kind}")
+
+    def _handle_push(self, payload: dict) -> None:
+        sensor = int(payload["sensor"])
+        epoch = int(payload["epoch"])
+        value = float(payload["value"])
+        state = self._states[sensor]
+        self.sync.record_exchange(
+            self._sensors[sensor].name if sensor in self._sensors else str(sensor),
+            proxy_time=self.epoch_time(epoch),
+            sensor_local_time=float(payload["local_time"]),
+        )
+        self._activate_if_due(state, epoch)
+        if state.tracker is None:
+            # Cold start: cache the raw push, no model state to advance.
+            state.last_epoch = max(state.last_epoch, epoch)
+        elif epoch > state.last_epoch:
+            # Substitute predictions for any silent epochs, then apply.
+            self._advance_tracker(sensor, state, epoch - 1)
+            state.tracker.apply_push(value)
+            state.last_epoch = epoch
+        else:
+            # The tracker already advanced past this epoch (in-flight push
+            # overtaken by a query's silent advance).  The cache entry below
+            # still refines the guess; the replicas repair at the next refit.
+            state.push_losses_detected += 1
+        state.pushes_received += 1
+        self._insert_entry(
+            sensor,
+            CacheEntry(
+                timestamp=self.epoch_time(epoch),
+                value=value,
+                std=0.0,
+                source=EntrySource.PUSHED,
+            ),
+        )
+
+    def _handle_batch(self, payload: dict) -> None:
+        sensor = int(payload["sensor"])
+        state = self._states[sensor]
+        quant = float(payload["quant_step"])
+        std = quant / np.sqrt(12.0)  # quantisation noise
+        for timestamp, value in zip(payload["timestamps"], payload["values"]):
+            self._insert_entry(
+                sensor,
+                CacheEntry(
+                    timestamp=float(timestamp),
+                    value=float(value),
+                    std=float(std),
+                    source=EntrySource.PUSHED,
+                ),
+            )
+            epoch = int(round(timestamp / self.config.sample_period_s))
+            state.last_epoch = max(state.last_epoch, epoch)
+        state.batches_received += 1
+
+    # -- tracker management ---------------------------------------------------------
+
+    def _activate_if_due(self, state: _SensorState, epoch: int) -> None:
+        if state.pending is not None and epoch >= state.pending.activation_epoch:
+            state.tracker = ProxyModelTracker(state.pending)
+            state.last_epoch = max(state.last_epoch, state.pending.activation_epoch - 1)
+            state.pending = None
+
+    def _advance_tracker(self, sensor: int, state: _SensorState, upto_epoch: int) -> None:
+        """Insert PREDICTED entries for silent epochs up to *upto_epoch*.
+
+        The entry's std reflects the protocol's actual guarantee: a silent
+        epoch means the reading was within *delta* of the substituted value,
+        so the error bound is delta (≈ uniform, std = delta/√3), floored at
+        the model's own one-step residual.
+        """
+        if state.tracker is None:
+            return
+        std = max(
+            state.tracker.predicted_std(),
+            state.tracker.delta / np.sqrt(3.0),
+        )
+        while state.last_epoch < upto_epoch:
+            state.last_epoch += 1
+            predicted = state.tracker.advance_silent()
+            self._insert_entry(
+                sensor,
+                CacheEntry(
+                    timestamp=self.epoch_time(state.last_epoch),
+                    value=predicted,
+                    std=max(std, 1e-6),
+                    source=EntrySource.PREDICTED,
+                ),
+            )
+
+    def advance_to_now(self, sensor: int) -> None:
+        """Bring *sensor*'s cached view up to the current epoch."""
+        state = self._states[sensor]
+        target = self.current_epoch()
+        self._activate_if_due(state, target)
+        self._advance_tracker(sensor, state, target)
+
+    # -- model refit & dissemination ---------------------------------------------------
+
+    def refit_sensor(self, sensor: int) -> bool:
+        """Refit and ship a model for *sensor* from its cached stream.
+
+        Returns True when a model update was shipped and accepted.
+        """
+        entries = self.cache.entries_in(sensor, 0.0, self.sim.now)
+        if len(entries) < self.config.min_training_epochs:
+            return False
+        window = entries[-self.config.training_epochs:]
+        values = np.asarray([e.value for e in window], dtype=np.float64)
+        times = np.asarray([e.timestamp for e in window], dtype=np.float64)
+        point = self._operating_points.get(sensor)
+        delta = point.push_delta if point is not None else self.config.push_delta
+        update = self.engine.refit(sensor, values, times, delta=delta)
+        if update is None:
+            return False
+        activation = self.current_epoch() + ACTIVATION_LAG_EPOCHS
+        update = ModelUpdate(
+            model=update.model, delta=update.delta, activation_epoch=activation
+        )
+        name = self.sensor_name(sensor)
+        packet = Packet(
+            kind=PacketKind.MODEL_UPDATE,
+            src=self.name,
+            dst=name,
+            payload_bytes=update.parameter_bytes,
+            payload=update,
+        )
+        outcome = self.network.send(packet, energy_category="radio.model_update")
+        if not outcome.delivered:
+            return False
+        state = self._states[sensor]
+        state.pending = update
+        return True
+
+    def refit_all(self) -> int:
+        """Refit every sensor; returns how many updates shipped."""
+        shipped = 0
+        for sensor in range(self.n_sensors):
+            if self.refit_sensor(sensor):
+                shipped += 1
+        # Refresh the spatial model from recent aligned actuals.
+        self._refresh_spatial()
+        return shipped
+
+    def _refresh_spatial(self) -> None:
+        if not self.config.spatial_extrapolation:
+            return
+        period = self.config.sample_period_s
+        epochs = min(self.config.training_epochs, 1024)
+        end_epoch = self.current_epoch()
+        start_epoch = max(end_epoch - epochs, 0)
+        if end_epoch - start_epoch < 64:
+            return
+        matrix = np.full((end_epoch - start_epoch, self.n_sensors), np.nan)
+        for sensor in range(self.n_sensors):
+            for row, epoch in enumerate(range(start_epoch, end_epoch)):
+                entry = self.cache.entry_at(sensor, self.epoch_time(epoch), period / 2)
+                if entry is not None:
+                    matrix[row, sensor] = entry.value
+        complete = ~np.isnan(matrix).any(axis=1)
+        if complete.sum() >= 64:
+            self.engine.fit_spatial(matrix[complete])
+
+    def retune_sensor(self, sensor: int) -> SensorOperatingPoint | None:
+        """Derive and ship an operating point from observed queries."""
+        point = self.matcher.derive_operating_point()
+        current = self._operating_points.get(sensor)
+        if current == point:
+            return None
+        name = self.sensor_name(sensor)
+        packet = Packet(
+            kind=PacketKind.OPERATING_POINT,
+            src=self.name,
+            dst=name,
+            payload_bytes=point.wire_bytes,
+            payload=point,
+        )
+        outcome = self.network.send(packet, energy_category="radio.retune")
+        if not outcome.delivered:
+            return None
+        self._operating_points[sensor] = point
+        # Apply immediately on the sensor object as well (the event-path
+        # delivery also happens; apply is idempotent).
+        self._sensors[sensor].apply_operating_point(point)
+        state = self._states[sensor]
+        if state.tracker is not None:
+            state.tracker.delta = point.push_delta
+        return point
+
+    # -- query processing ------------------------------------------------------------
+
+    def process_query(self, query: Query) -> QueryAnswer:
+        """Answer one query, trying cache → prediction → spatial → pull."""
+        self.matcher.observe_query(query)
+        self.queries_processed += 1
+        if query.kind is QueryKind.NOW:
+            answer = self._answer_now(query)
+        elif query.kind is QueryKind.PAST_POINT:
+            answer = self._answer_past_point(query)
+        else:
+            answer = self._answer_past_window(query)
+        self.answers.append(answer)
+        return answer
+
+    def _confidence_ok(self, std: float, precision: float) -> bool:
+        return std * self.config.confidence_z <= precision
+
+    def _answer_now(self, query: Query) -> QueryAnswer:
+        sensor = query.sensor
+        self.advance_to_now(sensor)
+        period = self.config.sample_period_s
+        entry = self.cache.entry_at(sensor, query.arrival_time, tolerance_s=period)
+        if entry is not None and entry.is_actual:
+            return QueryAnswer(
+                query=query,
+                value=entry.value,
+                source=AnswerSource.CACHE,
+                latency_s=self.config.proxy_processing_s,
+                believed_std=entry.std,
+            )
+        if entry is not None and self._confidence_ok(entry.std, query.precision):
+            return QueryAnswer(
+                query=query,
+                value=entry.value,
+                source=AnswerSource.PREDICTION,
+                latency_s=self.config.proxy_processing_s,
+                believed_std=entry.std,
+            )
+        estimate = self.engine.best_estimate(sensor, query.arrival_time, self.cache)
+        if estimate is not None and self._confidence_ok(
+            estimate[0].std, query.precision
+        ):
+            return self._answer_from_estimate(query, estimate)
+        return self._pull_now(query, fallback=estimate)
+
+    def _answer_from_estimate(
+        self, query: Query, estimate: tuple[Estimate, str]
+    ) -> QueryAnswer:
+        value, method = estimate
+        source = (
+            AnswerSource.SPATIAL if method == "spatial" else AnswerSource.PREDICTION
+        )
+        return QueryAnswer(
+            query=query,
+            value=value.value,
+            source=source,
+            latency_s=self.config.proxy_processing_s,
+            believed_std=value.std,
+        )
+
+    def _answer_past_point(self, query: Query) -> QueryAnswer:
+        sensor = query.sensor
+        target = min(query.target_time, self.sim.now)
+        state = self._states[sensor]
+        if target <= self.epoch_time(state.last_epoch):
+            entry = self.cache.entry_at(
+                sensor, target, tolerance_s=self.config.sample_period_s
+            )
+        else:
+            self.advance_to_now(sensor)
+            entry = self.cache.entry_at(
+                sensor, target, tolerance_s=self.config.sample_period_s
+            )
+        if entry is not None and entry.is_actual:
+            return QueryAnswer(
+                query=query,
+                value=entry.value,
+                source=AnswerSource.CACHE,
+                latency_s=self.config.proxy_processing_s,
+                believed_std=entry.std,
+            )
+        if entry is not None and self._confidence_ok(entry.std, query.precision):
+            return QueryAnswer(
+                query=query,
+                value=entry.value,
+                source=AnswerSource.PREDICTION,
+                latency_s=self.config.proxy_processing_s,
+                believed_std=entry.std,
+            )
+        estimate = self.engine.best_estimate(sensor, target, self.cache)
+        if estimate is not None and self._confidence_ok(
+            estimate[0].std, query.precision
+        ):
+            return self._answer_from_estimate(query, estimate)
+        period = self.config.sample_period_s
+        return self._pull_past(
+            query, target - period, target + period, fallback=estimate
+        )
+
+    def _answer_past_window(self, query: Query) -> QueryAnswer:
+        sensor = query.sensor
+        start = min(query.target_time, self.sim.now)
+        end = min(start + query.window_s, self.sim.now)
+        entries = self.cache.entries_in(sensor, start, end)
+        coverage = self.cache.coverage_fraction(
+            sensor, start, end, self.config.sample_period_s
+        )
+        worst_std = max((e.std for e in entries), default=float("inf"))
+        if coverage >= 0.9 and self._confidence_ok(worst_std, query.precision):
+            values = np.asarray([e.value for e in entries], dtype=np.float64)
+            value = self._aggregate(values, query.aggregate)
+            all_actual = all(e.is_actual for e in entries)
+            return QueryAnswer(
+                query=query,
+                value=value,
+                source=AnswerSource.CACHE if all_actual else AnswerSource.PREDICTION,
+                latency_s=self.config.proxy_processing_s,
+                believed_std=worst_std if entries else 0.0,
+            )
+        return self._pull_past(query, start, end, fallback=None)
+
+    @staticmethod
+    def _aggregate(values: np.ndarray, aggregate: str) -> float:
+        if values.size == 0:
+            raise ValueError("aggregate of empty window")
+        if aggregate == "mean":
+            return float(np.mean(values))
+        if aggregate == "min":
+            return float(np.min(values))
+        if aggregate == "max":
+            return float(np.max(values))
+        raise ValueError(f"unknown aggregate {aggregate!r}")
+
+    # -- pull paths --------------------------------------------------------------------
+
+    def _pull_now(
+        self, query: Query, fallback: tuple[Estimate, str] | None
+    ) -> QueryAnswer:
+        """Round-trip to the sensor for its current reading."""
+        sensor_obj = self._sensors[query.sensor]
+        before = sensor_obj.meter.total_j
+        self.pull_stats.requests += 1
+        mac = self.network.mac_for(sensor_obj.name)
+        request = mac.send_downlink(PULL_REQUEST_BYTES, "radio.pull_request")
+        if not request.delivered:
+            return self._pull_failed(query, fallback, request.latency_s)
+        reading = sensor_obj.current_reading()
+        if reading is None:
+            return self._pull_failed(query, fallback, request.latency_s)
+        timestamp, value = reading
+        reply = mac.send_uplink(8, "radio.pull_reply")
+        if not reply.delivered:
+            return self._pull_failed(
+                query, fallback, request.latency_s + reply.latency_s
+            )
+        self._insert_entry(
+            query.sensor,
+            CacheEntry(
+                timestamp=timestamp, value=value, std=0.0, source=EntrySource.PULLED
+            ),
+        )
+        latency = (
+            self.config.proxy_processing_s + request.latency_s + reply.latency_s
+        )
+        self.pull_stats.bytes_pulled += 8
+        return QueryAnswer(
+            query=query,
+            value=value,
+            source=AnswerSource.SENSOR_PULL,
+            latency_s=latency,
+            believed_std=0.0,
+            sensor_energy_j=sensor_obj.meter.total_j - before,
+            pulled_bytes=8,
+        )
+
+    def _pull_past(
+        self,
+        query: Query,
+        start: float,
+        end: float,
+        fallback: tuple[Estimate, str] | None,
+    ) -> QueryAnswer:
+        """Round-trip to the sensor archive for a historical window."""
+        sensor_obj = self._sensors[query.sensor]
+        before = sensor_obj.meter.total_j
+        self.pull_stats.requests += 1
+        mac = self.network.mac_for(sensor_obj.name)
+        request = mac.send_downlink(PULL_REQUEST_BYTES, "radio.pull_request")
+        if not request.delivered:
+            return self._pull_failed(query, fallback, request.latency_s)
+        times, values, level, reply_bytes = sensor_obj.serve_pull(start, end)
+        if values.size == 0:
+            return self._pull_failed(query, fallback, request.latency_s)
+        latency = self.config.proxy_processing_s + request.latency_s
+        # Fragment the reply at the radio MTU; all fragments must arrive.
+        mtu = self.config.node_profile.radio.max_payload_bytes
+        remaining = reply_bytes
+        while remaining > 0:
+            chunk = min(remaining, mtu)
+            fragment = mac.send_uplink(chunk, "radio.pull_reply")
+            latency += fragment.latency_s
+            if not fragment.delivered:
+                return self._pull_failed(query, fallback, latency)
+            remaining -= chunk
+        aged_std = 0.0 if level == 0 else 0.05 * (2.0 ** level)
+        for timestamp, value in zip(times, values):
+            self._insert_entry(
+                query.sensor,
+                CacheEntry(
+                    timestamp=float(timestamp),
+                    value=float(value),
+                    std=aged_std,
+                    source=EntrySource.PULLED,
+                ),
+            )
+        self.pull_stats.bytes_pulled += reply_bytes
+        if query.kind is QueryKind.PAST_POINT:
+            offset = int(np.argmin(np.abs(times - query.target_time)))
+            value = float(values[offset])
+        else:
+            mask = (times >= start) & (times <= end)
+            value = self._aggregate(values[mask], query.aggregate)
+        return QueryAnswer(
+            query=query,
+            value=value,
+            source=AnswerSource.SENSOR_PULL,
+            latency_s=latency,
+            believed_std=aged_std,
+            sensor_energy_j=sensor_obj.meter.total_j - before,
+            pulled_bytes=reply_bytes,
+        )
+
+    def _pull_failed(
+        self,
+        query: Query,
+        fallback: tuple[Estimate, str] | None,
+        latency_so_far: float,
+    ) -> QueryAnswer:
+        """Pull gave up: degrade to the best model estimate, else fail."""
+        self.pull_stats.failures += 1
+        if fallback is not None:
+            estimate, method = fallback
+            return QueryAnswer(
+                query=query,
+                value=estimate.value,
+                source=(
+                    AnswerSource.SPATIAL
+                    if method == "spatial"
+                    else AnswerSource.PREDICTION
+                ),
+                latency_s=self.config.proxy_processing_s + latency_so_far,
+                believed_std=estimate.std,
+            )
+        return QueryAnswer(
+            query=query,
+            value=None,
+            source=AnswerSource.FAILED,
+            latency_s=self.config.proxy_processing_s + latency_so_far,
+        )
+
+    # -- stats ------------------------------------------------------------------
+
+    def answer_mix(self) -> dict[str, int]:
+        """Histogram of answer sources so far."""
+        mix: dict[str, int] = {}
+        for answer in self.answers:
+            mix[answer.source.value] = mix.get(answer.source.value, 0) + 1
+        return mix

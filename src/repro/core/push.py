@@ -1,0 +1,150 @@
+"""The model-driven push protocol.
+
+The heart of PRESTO (Section 2/3): the proxy fits a model, transmits its
+parameters to the sensor, and from then on the *sensor* checks each reading
+against the model, transmitting only on failure:
+
+    sensor:  predicted = model.predict_next()
+             if |reading - predicted| > delta: push(reading); observe(reading)
+             else:                             observe(predicted)
+    proxy:   on push:    observe(reading)   # same branch, same state
+             on silence: observe(predicted)
+
+Both sides advance the *same* model with the *same* values, so silence is
+unambiguous ("the reading was within delta of what we both computed") and
+the proxy's substituted series is exactly the sensor's.  Rare events are
+caught by construction: any reading further than delta from the prediction
+is pushed, no matter how unusual.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+
+from repro.timeseries.base import TimeSeriesModel
+
+_update_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ModelUpdate:
+    """Model parameters shipped proxy → sensor.
+
+    The simulation passes the fitted model object; the wire cost charged to
+    the radio is ``parameter_bytes`` — what a real deployment would send.
+
+    ``activation_epoch`` makes the switchover race-free: both sides keep
+    running the old model (or cold-start push-everything mode) until that
+    epoch, so a slow LPL downlink cannot desynchronise the replicas.
+    """
+
+    model: TimeSeriesModel
+    delta: float
+    activation_epoch: int = 0
+    update_id: int = field(default_factory=lambda: next(_update_ids))
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Bytes of model parameters on the wire."""
+        return self.model.parameter_bytes + 4  # + delta
+
+
+@dataclass(frozen=True)
+class PushDecision:
+    """Outcome of one sensor-side model check."""
+
+    push: bool
+    predicted: float
+    error: float
+
+
+class SensorModelChecker:
+    """Sensor-side replica of the model, running the cheap check loop."""
+
+    def __init__(self, update: ModelUpdate) -> None:
+        self._model = copy.deepcopy(update.model)
+        self._model.align_to_time(
+            update.activation_epoch * self._model.sample_period_s
+        )
+        self.delta = float(update.delta)
+        self.update_id = update.update_id
+        self.checks = 0
+        self.pushes = 0
+
+    @property
+    def check_cycles(self) -> float:
+        """CPU cycles per verification (for the energy model)."""
+        return self._model.check_cycles
+
+    def process(self, value: float) -> PushDecision:
+        """Check one reading; advances the replica identically to the proxy."""
+        predicted = self._model.predict_next()
+        error = abs(value - predicted)
+        push = error > self.delta
+        self._model.observe(value if push else predicted)
+        self.checks += 1
+        if push:
+            self.pushes += 1
+        return PushDecision(push=push, predicted=predicted, error=error)
+
+    @property
+    def push_fraction(self) -> float:
+        """Fraction of readings that failed the model so far."""
+        if self.checks == 0:
+            return 0.0
+        return self.pushes / self.checks
+
+
+class ProxyModelTracker:
+    """Proxy-side replica of the same model for one sensor.
+
+    ``advance_silent()`` substitutes the prediction for an epoch the sensor
+    skipped; ``apply_push(value)`` consumes a pushed reading.  The sequence
+    of calls must mirror the sensor's epochs, which the proxy guarantees by
+    processing epochs in order (see :class:`repro.core.proxy.PrestoProxy`).
+    """
+
+    def __init__(self, update: ModelUpdate) -> None:
+        self._model = copy.deepcopy(update.model)
+        self._model.align_to_time(
+            update.activation_epoch * self._model.sample_period_s
+        )
+        self.delta = float(update.delta)
+        self.update_id = update.update_id
+        self.substitutions = 0
+        self.pushes_applied = 0
+
+    def advance_silent(self) -> float:
+        """Advance one epoch without a push; returns the substituted value."""
+        predicted = self._model.predict_next()
+        self._model.observe(predicted)
+        self.substitutions += 1
+        return predicted
+
+    def apply_push(self, value: float) -> None:
+        """Advance one epoch with the pushed reading."""
+        self._model.observe(float(value))
+        self.pushes_applied += 1
+
+    def predicted_std(self) -> float:
+        """One-step uncertainty of a substitution (model residual std)."""
+        return self._model.residual_std
+
+    def forecast_std(self, steps: int) -> float:
+        """Uncertainty *steps* epochs past the last known state."""
+        if steps <= 1:
+            return self.predicted_std()
+        try:
+            forecast = self._model.forecast(steps)
+            return float(forecast.std[-1])
+        except (RuntimeError, ValueError):
+            return self.predicted_std() * (steps ** 0.5)
+
+
+def verify_replicas_in_sync(
+    checker: SensorModelChecker, tracker: ProxyModelTracker
+) -> bool:
+    """Test hook: do the two replicas predict the same next value?"""
+    return abs(checker._model.predict_next() - tracker._model.predict_next()) < 1e-9

@@ -1,0 +1,55 @@
+"""Query answers and their provenance.
+
+Queries themselves are defined in :mod:`repro.traces.workload` (they are
+workload artefacts); this module defines what comes back — the answer, the
+error bound the proxy believed, where the data came from, and what the
+answer cost in latency and sensor energy.  Provenance is central to the
+paper's evaluation story: the architecture wins when most answers come from
+``CACHE`` or ``PREDICTION`` instead of ``SENSOR_PULL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.traces.workload import Query
+
+
+class AnswerSource(enum.Enum):
+    """Where a query answer was produced."""
+
+    CACHE = "cache"                    # cached actual data (pushed or pulled)
+    PREDICTION = "prediction"          # temporal model extrapolation
+    SPATIAL = "spatial"                # conditioned on neighbouring sensors
+    SENSOR_PULL = "sensor_pull"        # fetched from the sensor archive
+    FAILED = "failed"                  # could not answer within bounds
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """Outcome of one query against a PRESTO cell or baseline."""
+
+    query: Query
+    value: float | None
+    source: AnswerSource
+    latency_s: float
+    believed_std: float = 0.0      # proxy's own error estimate
+    sensor_energy_j: float = 0.0   # marginal sensor-side energy this query caused
+    pulled_bytes: int = 0
+
+    @property
+    def answered(self) -> bool:
+        """Whether any value was produced."""
+        return self.value is not None and self.source is not AnswerSource.FAILED
+
+    @property
+    def met_latency(self) -> bool:
+        """Whether the latency bound was met."""
+        return self.latency_s <= self.query.latency_bound_s
+
+    def error_against(self, truth: float) -> float | None:
+        """Absolute error against ground truth (None if unanswered)."""
+        if self.value is None:
+            return None
+        return abs(self.value - truth)

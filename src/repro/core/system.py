@@ -1,0 +1,359 @@
+"""Whole-deployment simulation harness.
+
+Wires a complete PRESTO cell — trace, sensors (with clocks, archives and
+energy meters), network, proxy — into one :class:`Simulator`, replays a
+query workload against it, and produces the :class:`SystemReport` that every
+benchmark and example consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PrestoConfig
+from repro.core.proxy import PrestoProxy
+from repro.core.queries import QueryAnswer
+from repro.core.sensor import PrestoSensor
+from repro.energy.duty_cycle import DutyCycleConfig
+from repro.energy.meter import EnergyMeter
+from repro.radio.network import Network, NetworkNode
+from repro.simulation.kernel import Simulator
+from repro.simulation.process import PeriodicTask
+from repro.simulation.randomness import RandomStreams
+from repro.storage.aging import AgingPolicy
+from repro.storage.archive import SensorArchive
+from repro.storage.flash import FlashDevice
+from repro.sync.clock import ClockModel, DriftingClock
+from repro.traces.intel_lab import TraceSet
+from repro.traces.workload import Query, QueryKind
+
+#: how often bulk idle-listening energy is accounted
+IDLE_ACCOUNTING_PERIOD_S = 3600.0
+
+
+@dataclass
+class SystemReport:
+    """Everything a benchmark needs from one simulated run."""
+
+    duration_s: float
+    n_sensors: int
+    answers: list[QueryAnswer]
+    truths: list[float | None]
+    sensor_energy_j: float
+    sensor_energy_by_category: dict[str, float]
+    proxy_energy_j: float
+    per_sensor_energy_j: list[float]
+    pushes: int
+    cold_pushes: int
+    batches: int
+    pulls: int
+    pull_failures: int
+    packets_sent: int
+    delivery_ratio: float
+    model_refits: int
+    cache_size: int
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean answer latency."""
+        if not self.answers:
+            return 0.0
+        return float(np.mean([a.latency_s for a in self.answers]))
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile answer latency."""
+        if not self.answers:
+            return 0.0
+        return float(np.percentile([a.latency_s for a in self.answers], 95))
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of queries that produced a value."""
+        if not self.answers:
+            return 1.0
+        return float(np.mean([a.answered for a in self.answers]))
+
+    def errors(self) -> list[float]:
+        """Absolute errors for answers with known ground truth."""
+        out: list[float] = []
+        for answer, truth in zip(self.answers, self.truths):
+            if truth is None or answer.value is None:
+                continue
+            out.append(abs(answer.value - truth))
+        return out
+
+    @property
+    def mean_error(self) -> float:
+        """Mean absolute answer error vs ground truth."""
+        errors = self.errors()
+        return float(np.mean(errors)) if errors else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Answered within both precision and latency bounds."""
+        if not self.answers:
+            return 1.0
+        successes = 0
+        evaluated = 0
+        for answer, truth in zip(self.answers, self.truths):
+            evaluated += 1
+            if not answer.answered or not answer.met_latency:
+                continue
+            if truth is not None and answer.value is not None:
+                if abs(answer.value - truth) > answer.query.precision:
+                    continue
+            successes += 1
+        return successes / evaluated if evaluated else 1.0
+
+    def answer_mix(self) -> dict[str, int]:
+        """Histogram of answer sources."""
+        mix: dict[str, int] = {}
+        for answer in self.answers:
+            mix[answer.source.value] = mix.get(answer.source.value, 0) + 1
+        return mix
+
+    @property
+    def sensor_energy_per_day_j(self) -> float:
+        """Fleet-average sensor energy per node-day (lifetime proxy)."""
+        days = self.duration_s / 86_400.0
+        if days <= 0 or self.n_sensors == 0:
+            return 0.0
+        return self.sensor_energy_j / self.n_sensors / days
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict used by benchmark tables."""
+        return {
+            "sensor_energy_j": self.sensor_energy_j,
+            "sensor_energy_per_day_j": self.sensor_energy_per_day_j,
+            "mean_latency_s": self.mean_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "mean_error": self.mean_error,
+            "success_rate": self.success_rate,
+            "answered_fraction": self.answered_fraction,
+            "pushes": float(self.pushes),
+            "pulls": float(self.pulls),
+            "delivery_ratio": self.delivery_ratio,
+        }
+
+
+class PrestoSystem:
+    """Builder + runner for one PRESTO cell over a trace and workload."""
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        config: PrestoConfig | None = None,
+        seed: int = 0,
+        model_clocks: bool = False,
+        clock_model: ClockModel | None = None,
+        proxy_name: str = "proxy",
+    ) -> None:
+        self.trace = trace
+        self.config = config or PrestoConfig(sample_period_s=trace.config.epoch_s)
+        if abs(self.config.sample_period_s - trace.config.epoch_s) > 1e-9:
+            raise ValueError(
+                f"config sample period {self.config.sample_period_s} != trace "
+                f"epoch {trace.config.epoch_s}"
+            )
+        self.streams = RandomStreams(seed=seed)
+        self.sim = Simulator()
+        self.proxy_meter = EnergyMeter("proxy")
+        self.network = Network(
+            sim=self.sim,
+            radio=self.config.node_profile.radio,
+            link_config=self.config.link,
+            default_duty_cycle=DutyCycleConfig(
+                check_interval_s=self.config.default_check_interval_s,
+                check_duration_s=self.config.lpl_check_duration_s,
+            ),
+            rng=self.streams.get("radio.loss"),
+        )
+        self.proxy = PrestoProxy(
+            name=proxy_name,
+            config=self.config,
+            sim=self.sim,
+            network=self.network,
+            meter=self.proxy_meter,
+            n_sensors=trace.n_sensors,
+        )
+        self.network.register_proxy(
+            NetworkNode(proxy_name, self.proxy_meter, on_receive=self.proxy.on_receive)
+        )
+        self.sensors: list[PrestoSensor] = []
+        clock_rng = self.streams.get("sync.clocks")
+        for sensor_id in range(trace.n_sensors):
+            name = f"sensor{sensor_id}"
+            meter = EnergyMeter(name)
+            clock = (
+                DriftingClock(clock_model or ClockModel(), clock_rng, name)
+                if model_clocks
+                else None
+            )
+            node = NetworkNode(name, meter)
+            mac = self.network.register_sensor(node)
+            flash = FlashDevice(
+                self.config.node_profile.flash,
+                meter,
+                capacity_bytes=self.config.flash_capacity_bytes,
+            )
+            archive = SensorArchive(
+                flash,
+                segment_readings=self.config.segment_readings,
+                aging_policy=AgingPolicy(max_level=self.config.aging_max_level),
+                sample_period_s=self.config.sample_period_s,
+            )
+            sensor = PrestoSensor(
+                sensor_id=sensor_id,
+                name=name,
+                config=self.config,
+                network=self.network,
+                mac=mac,
+                meter=meter,
+                archive=archive,
+                proxy_name=proxy_name,
+                clock=clock,
+            )
+            node.on_receive = sensor.handle_packet
+            self.sensors.append(sensor)
+            self.proxy.register_sensor(sensor)
+        self._epoch = 0
+        self._query_log: list[tuple[Query, QueryAnswer]] = []
+
+    # -- simulation activities ----------------------------------------------------
+
+    def _sample_all(self) -> None:
+        if self._epoch >= self.trace.n_epochs:
+            return
+        now = self.sim.now
+        for sensor in self.sensors:
+            value = self.trace.values[sensor.sensor_id, self._epoch]
+            if np.isnan(value):
+                sensor.on_missed_sample()
+                continue
+            sensor.on_sample(now, float(value))
+        self._epoch += 1
+
+    def _account_idle(self) -> None:
+        self.network.account_idle_all(IDLE_ACCOUNTING_PERIOD_S)
+
+    def _refit_all(self) -> None:
+        self.proxy.refit_all()
+
+    def _retune_all(self) -> None:
+        for sensor_id in range(self.trace.n_sensors):
+            self.proxy.retune_sensor(sensor_id)
+
+    def _run_query(self, query: Query) -> None:
+        answer = self.proxy.process_query(query)
+        self._query_log.append((query, answer))
+
+    # -- ground truth ----------------------------------------------------------------
+
+    def _truth_for(self, query: Query) -> float | None:
+        trace = self.trace
+        if query.kind in (QueryKind.NOW, QueryKind.PAST_POINT):
+            target = (
+                query.arrival_time if query.kind is QueryKind.NOW else query.target_time
+            )
+            epoch = trace.epoch_of(min(target, trace.timestamps[-1]))
+            value = trace.values[query.sensor, epoch]
+            return None if np.isnan(value) else float(value)
+        start = query.target_time
+        end = start + query.window_s
+        mask = (trace.timestamps >= start) & (trace.timestamps <= end)
+        window = trace.values[query.sensor, mask]
+        window = window[~np.isnan(window)]
+        if window.size == 0:
+            return None
+        if query.aggregate == "mean":
+            return float(np.mean(window))
+        if query.aggregate == "min":
+            return float(np.min(window))
+        return float(np.max(window))
+
+    # -- main entry ---------------------------------------------------------------------
+
+    def run(
+        self,
+        queries: list[Query] | None = None,
+        duration_s: float | None = None,
+    ) -> SystemReport:
+        """Replay the trace (and queries) and collect the report."""
+        queries = queries or []
+        horizon = duration_s if duration_s is not None else self.trace.config.duration_s
+        period = self.config.sample_period_s
+
+        sampling = PeriodicTask(self.sim, period, self._sample_all, start_offset=0.0)
+        sampling.start()
+        idle = PeriodicTask(
+            self.sim,
+            IDLE_ACCOUNTING_PERIOD_S,
+            self._account_idle,
+            start_offset=IDLE_ACCOUNTING_PERIOD_S,
+        )
+        idle.start()
+        refit = PeriodicTask(
+            self.sim,
+            self.config.refit_interval_s,
+            self._refit_all,
+            start_offset=self.config.min_training_epochs * period + 1.0,
+        )
+        refit.start()
+        retune = PeriodicTask(
+            self.sim,
+            self.config.retune_interval_s,
+            self._retune_all,
+            start_offset=self.config.retune_interval_s,
+        )
+        retune.start()
+        for query in queries:
+            if query.arrival_time < horizon:
+                self.sim.schedule(
+                    query.arrival_time, lambda q=query: self._run_query(q)
+                )
+        self.sim.run_until(horizon)
+        sampling.stop()
+        idle.stop()
+        refit.stop()
+        retune.stop()
+        # account the tail that the hourly task has not covered yet
+        remainder = horizon % IDLE_ACCOUNTING_PERIOD_S
+        if remainder > 0:
+            self.network.account_idle_all(remainder)
+        for sensor in self.sensors:
+            sensor.flush_batch()
+
+        return self._report(horizon)
+
+    def _report(self, horizon: float) -> SystemReport:
+        answers = [answer for _, answer in self._query_log]
+        truths = [self._truth_for(query) for query, _ in self._query_log]
+        fleet = EnergyMeter("fleet")
+        per_sensor: list[float] = []
+        for sensor in self.sensors:
+            fleet.merge(sensor.meter)
+            per_sensor.append(sensor.meter.total_j)
+        return SystemReport(
+            duration_s=horizon,
+            n_sensors=len(self.sensors),
+            answers=answers,
+            truths=truths,
+            sensor_energy_j=fleet.total_j,
+            sensor_energy_by_category=fleet.snapshot().by_category,
+            proxy_energy_j=self.proxy_meter.total_j,
+            per_sensor_energy_j=per_sensor,
+            pushes=sum(s.pushes_sent for s in self.sensors),
+            cold_pushes=sum(s.cold_pushes for s in self.sensors),
+            batches=sum(s.batches_sent for s in self.sensors),
+            pulls=self.proxy.pull_stats.requests,
+            pull_failures=self.proxy.pull_stats.failures,
+            packets_sent=self.network.packets_sent,
+            delivery_ratio=self.network.delivery_ratio,
+            model_refits=self.proxy.engine.refits,
+            cache_size=self.proxy.cache.size(),
+        )

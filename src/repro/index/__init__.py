@@ -1,0 +1,22 @@
+"""Distributed indexing across proxies.
+
+Section 5: PRESTO needs "a single temporally ordered view of detections
+across distributed proxies and sensors ... we are exploring the use of
+order-preserving index structures such as Skip Graphs [14]".  This package
+implements the skip graph (search/insert/delete/range with hop accounting),
+an interval index mapping key ranges to proxies, and the replicated cache
+directory used to place replicas of wireless proxies' caches on wired ones.
+"""
+
+from repro.index.skipgraph import SkipGraph, SkipGraphNode
+from repro.index.interval import IntervalIndex, IntervalAssignment
+from repro.index.directory import CacheDirectory, ProxyDescriptor
+
+__all__ = [
+    "SkipGraph",
+    "SkipGraphNode",
+    "IntervalIndex",
+    "IntervalAssignment",
+    "CacheDirectory",
+    "ProxyDescriptor",
+]

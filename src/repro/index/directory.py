@@ -1,0 +1,113 @@
+"""Replicated cache directory.
+
+Section 5's last concern: wireless (802.11 mesh) proxies have worse
+bandwidth and availability than wired ones, so "caches and prediction models
+at the wireless proxies may need to be further replicated at the wired
+proxies to enable low-latency query responses."  The directory tracks which
+proxy caches which sensors, marks proxies wired/wireless with a nominal
+response latency, chooses replication targets for wireless proxies, and
+answers "who should serve this query" with the lowest-latency live replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProxyDescriptor:
+    """Directory record for one proxy."""
+
+    name: str
+    wired: bool
+    response_latency_s: float
+    alive: bool = True
+    cached_sensors: set[int] = field(default_factory=set)
+    replicas_of: set[str] = field(default_factory=set)  # proxies replicated here
+
+
+class CacheDirectory:
+    """Cluster-wide view of cache placement and replication."""
+
+    def __init__(self, replication_factor: int = 1) -> None:
+        if replication_factor < 0:
+            raise ValueError(f"replication factor must be >= 0, got {replication_factor}")
+        self.replication_factor = int(replication_factor)
+        self._proxies: dict[str, ProxyDescriptor] = {}
+
+    def register_proxy(
+        self, name: str, wired: bool, response_latency_s: float
+    ) -> ProxyDescriptor:
+        """Add a proxy to the directory."""
+        if name in self._proxies:
+            raise ValueError(f"duplicate proxy {name!r}")
+        descriptor = ProxyDescriptor(
+            name=name, wired=wired, response_latency_s=response_latency_s
+        )
+        self._proxies[name] = descriptor
+        return descriptor
+
+    def publish_cache(self, proxy: str, sensors: set[int]) -> None:
+        """Declare that *proxy* caches *sensors*."""
+        self._proxies[proxy].cached_sensors |= set(sensors)
+
+    def plan_replication(self) -> dict[str, list[str]]:
+        """Choose wired replicas for every wireless proxy's cache.
+
+        Returns ``{wireless_proxy: [wired_replica, ...]}`` and records the
+        placements.  Targets are the lowest-latency wired proxies, spreading
+        load by current replica count.
+        """
+        wired = [p for p in self._proxies.values() if p.wired and p.alive]
+        plan: dict[str, list[str]] = {}
+        for proxy in self._proxies.values():
+            if proxy.wired or not proxy.alive:
+                continue
+            candidates = sorted(
+                wired, key=lambda w: (len(w.replicas_of), w.response_latency_s)
+            )
+            chosen = candidates[: self.replication_factor]
+            for target in chosen:
+                target.replicas_of.add(proxy.name)
+            plan[proxy.name] = [target.name for target in chosen]
+        return plan
+
+    def serving_candidates(self, sensor: int) -> list[ProxyDescriptor]:
+        """Live proxies able to answer for *sensor*, best latency first.
+
+        A proxy qualifies if it caches the sensor directly or replicates a
+        proxy that does.
+        """
+        owners = {
+            p.name for p in self._proxies.values() if sensor in p.cached_sensors
+        }
+        candidates = []
+        for proxy in self._proxies.values():
+            if not proxy.alive:
+                continue
+            if proxy.name in owners or proxy.replicas_of & owners:
+                candidates.append(proxy)
+        candidates.sort(key=lambda p: p.response_latency_s)
+        return candidates
+
+    def best_server(self, sensor: int) -> ProxyDescriptor | None:
+        """Lowest-latency live server for *sensor*, or None."""
+        candidates = self.serving_candidates(sensor)
+        return candidates[0] if candidates else None
+
+    def mark_down(self, proxy: str) -> None:
+        """Take a proxy offline (availability experiments)."""
+        self._proxies[proxy].alive = False
+
+    def mark_up(self, proxy: str) -> None:
+        """Bring a proxy back."""
+        self._proxies[proxy].alive = True
+
+    def proxy(self, name: str) -> ProxyDescriptor:
+        """Lookup by name."""
+        return self._proxies[name]
+
+    @property
+    def proxies(self) -> list[ProxyDescriptor]:
+        """All descriptors, registration order."""
+        return list(self._proxies.values())

@@ -1,0 +1,229 @@
+"""Skip graph: an order-preserving distributed index (Aspnes & Shah [14]).
+
+Every node holds a key and a random *membership vector*; the level-``i``
+list links nodes whose membership vectors share an ``i``-bit prefix, so each
+node belongs to one doubly-linked list per level, level 0 being the single
+global sorted list.  Search descends from a node's highest level, moving as
+far as possible without overshooting — O(log n) expected hops, with no
+central coordinator and graceful degradation under node loss, which is why
+the paper picks it for geographically distributed proxies.
+
+The implementation is faithful to the distributed algorithm (searches hop
+neighbour to neighbour and we count those hops for the benchmarks) while
+living in one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+
+class SkipGraphNode:
+    """One participant, e.g. a proxy advertising a key range start."""
+
+    __slots__ = ("key", "value", "membership", "neighbors")
+
+    def __init__(self, key: float, value: Any, membership: tuple[int, ...]) -> None:
+        self.key = key
+        self.value = value
+        self.membership = membership
+        # neighbors[level] = [left, right]
+        self.neighbors: list[list["SkipGraphNode | None"]] = []
+
+    def level_count(self) -> int:
+        """Number of levels this node participates in."""
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SkipGraphNode(key={self.key!r})"
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a key lookup."""
+
+    node: "SkipGraphNode | None"
+    hops: int
+    exact: bool
+
+
+class SkipGraph:
+    """In-process skip graph with hop-counted operations."""
+
+    def __init__(self, rng: np.random.Generator | None = None, max_levels: int = 32) -> None:
+        self._rng = rng or np.random.default_rng(0)
+        self.max_levels = int(max_levels)
+        self._head: SkipGraphNode | None = None  # smallest-key node
+        self._size = 0
+        self.total_search_hops = 0
+        self.total_searches = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _draw_membership(self) -> tuple[int, ...]:
+        return tuple(int(b) for b in self._rng.integers(0, 2, size=self.max_levels))
+
+    @staticmethod
+    def _common_prefix(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        length = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            length += 1
+        return length
+
+    def _find_floor(self, key: float) -> tuple[SkipGraphNode | None, int]:
+        """Greatest node with ``node.key <= key`` plus hop count.
+
+        Mirrors the distributed search: start at the entry node's top level,
+        walk right while the next key still ≤ target, drop a level when
+        blocked.
+        """
+        if self._head is None:
+            return None, 0
+        current = self._head
+        hops = 0
+        if current.key > key:
+            return None, 0
+        level = current.level_count() - 1
+        while level >= 0:
+            while True:
+                right = (
+                    current.neighbors[level][1]
+                    if level < current.level_count()
+                    else None
+                )
+                if right is not None and right.key <= key:
+                    current = right
+                    hops += 1
+                else:
+                    break
+            level -= 1
+        return current, hops
+
+    # -- operations -------------------------------------------------------------
+
+    def insert(self, key: float, value: Any) -> SkipGraphNode:
+        """Insert a node; duplicate keys are allowed (stable neighbours)."""
+        membership = self._draw_membership()
+        node = SkipGraphNode(key, value, membership)
+        if self._head is None:
+            node.neighbors = [[None, None]]
+            self._head = node
+            self._size = 1
+            return node
+
+        floor, _ = self._find_floor(key)
+        # Splice into level 0 (global sorted list).
+        if floor is None:
+            left: SkipGraphNode | None = None
+            right: SkipGraphNode | None = self._head
+            self._head = node
+        else:
+            left = floor
+            right = floor.neighbors[0][1]
+        node.neighbors = [[left, right]]
+        if left is not None:
+            left.neighbors[0][1] = node
+        if right is not None:
+            right.neighbors[0][0] = node
+
+        # Build higher levels: at level i, link to the nearest node (either
+        # side at level i-1 chain) sharing an i-bit membership prefix.
+        level = 1
+        while level < self.max_levels:
+            left_match = self._scan(node, level, direction=0)
+            right_match = self._scan(node, level, direction=1)
+            if left_match is None and right_match is None:
+                break
+            node.neighbors.append([left_match, right_match])
+            if left_match is not None:
+                self._ensure_level(left_match, level)
+                left_match.neighbors[level][1] = node
+            if right_match is not None:
+                self._ensure_level(right_match, level)
+                right_match.neighbors[level][0] = node
+            level += 1
+        self._size += 1
+        return node
+
+    def _scan(
+        self, node: SkipGraphNode, level: int, direction: int
+    ) -> SkipGraphNode | None:
+        """Walk the level-(level-1) list for a node sharing a level-bit prefix."""
+        current = node.neighbors[level - 1][direction]
+        while current is not None:
+            if self._common_prefix(current.membership, node.membership) >= level:
+                return current
+            if level - 1 < current.level_count():
+                current = current.neighbors[level - 1][direction]
+            else:
+                break
+        return current
+
+    @staticmethod
+    def _ensure_level(node: SkipGraphNode, level: int) -> None:
+        while node.level_count() <= level:
+            node.neighbors.append([None, None])
+
+    def delete(self, node: SkipGraphNode) -> None:
+        """Unlink *node* from every level."""
+        for level in range(node.level_count()):
+            left, right = node.neighbors[level]
+            if left is not None and level < left.level_count():
+                left.neighbors[level][1] = right
+            if right is not None and level < right.level_count():
+                right.neighbors[level][0] = left
+        if node is self._head:
+            self._head = node.neighbors[0][1]
+        self._size -= 1
+        node.neighbors = [[None, None]]
+
+    def search(self, key: float) -> SearchResult:
+        """Find the greatest node with ``key <= target`` (range routing)."""
+        node, hops = self._find_floor(key)
+        self.total_searches += 1
+        self.total_search_hops += hops
+        exact = node is not None and node.key == key
+        return SearchResult(node=node, hops=hops, exact=exact)
+
+    def range_query(self, start: float, end: float) -> tuple[list[SkipGraphNode], int]:
+        """All nodes with keys in ``[start, end]`` plus total hops.
+
+        Routes to the floor of *start* then walks level 0 — the
+        order-preserving traversal the paper wants for "a single temporally
+        ordered view of detections".
+        """
+        if end < start:
+            raise ValueError(f"empty range [{start}, {end}]")
+        floor, hops = self._find_floor(start)
+        current = floor if floor is not None else self._head
+        found: list[SkipGraphNode] = []
+        while current is not None and current.key <= end:
+            if current.key >= start:
+                found.append(current)
+            current = current.neighbors[0][1]
+            hops += 1
+        self.total_searches += 1
+        self.total_search_hops += hops
+        return found, hops
+
+    def keys_in_order(self) -> Iterator[float]:
+        """Level-0 traversal (must always be sorted — a test invariant)."""
+        current = self._head
+        while current is not None:
+            yield current.key
+            current = current.neighbors[0][1]
+
+    @property
+    def mean_search_hops(self) -> float:
+        """Average hops per search so far."""
+        if self.total_searches == 0:
+            return 0.0
+        return self.total_search_hops / self.total_searches

@@ -1,0 +1,26 @@
+"""Radio, MAC, and network simulation.
+
+Models the lower-tier wireless hops of the PRESTO hierarchy: lossy links
+with retransmission, a B-MAC-style low-power-listening MAC whose check
+interval is *tunable by the proxy* (the knob query–sensor matching turns),
+and a star network connecting each proxy to its sensors.  Every transmitted
+byte charges the sender's (and receiver's) energy meter through the models
+in :mod:`repro.energy`.
+"""
+
+from repro.radio.packet import Packet, PacketKind
+from repro.radio.link import LinkConfig, LinkStats, LossyLink
+from repro.radio.mac import LplMac, MacStats
+from repro.radio.network import Network, NetworkNode
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "LinkConfig",
+    "LinkStats",
+    "LossyLink",
+    "LplMac",
+    "MacStats",
+    "Network",
+    "NetworkNode",
+]

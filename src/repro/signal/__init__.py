@@ -1,0 +1,63 @@
+"""Signal processing substrate: wavelets, denoising, compression, aging.
+
+PRESTO's sensors batch readings and apply *wavelet denoising* before
+transmission (Figure 2, "Batched Push w/ Wavelet Denoising" — citing
+Vetterli & Kovacevic [12]) and age archived data into lower-resolution
+wavelet summaries when flash fills (Section 4, citing Ganesan et al. [10]).
+No wavelet library ships offline, so the discrete wavelet transform is
+implemented here from the standard filter banks.
+"""
+
+from repro.signal.wavelets import (
+    HAAR,
+    DB4,
+    Wavelet,
+    dwt_max_level,
+    idwt_multilevel,
+    dwt_multilevel,
+)
+from repro.signal.denoise import denoise, estimate_noise_sigma, universal_threshold
+from repro.signal.compress import (
+    CompressedBlock,
+    compress_block,
+    decompress_block,
+    compressed_size_bytes,
+)
+from repro.signal.multires import MultiResolutionSummary, summarize, reconstruct
+from repro.signal.codecs import (
+    delta_encode,
+    delta_decode,
+    quantize,
+    dequantize,
+    rle_encode,
+    rle_decode,
+    varint_size,
+    encoded_size_bytes,
+)
+
+__all__ = [
+    "HAAR",
+    "DB4",
+    "Wavelet",
+    "dwt_max_level",
+    "dwt_multilevel",
+    "idwt_multilevel",
+    "denoise",
+    "estimate_noise_sigma",
+    "universal_threshold",
+    "CompressedBlock",
+    "compress_block",
+    "decompress_block",
+    "compressed_size_bytes",
+    "MultiResolutionSummary",
+    "summarize",
+    "reconstruct",
+    "delta_encode",
+    "delta_decode",
+    "quantize",
+    "dequantize",
+    "rle_encode",
+    "rle_decode",
+    "varint_size",
+    "encoded_size_bytes",
+]

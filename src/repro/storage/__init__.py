@@ -1,0 +1,28 @@
+"""Sensor-local archival storage.
+
+Section 4 of the paper: each PRESTO sensor runs "an archival file-system
+... that provides energy-efficient archival of useful sensor data at each
+sensor as well as a simple time-based index structure to efficiently service
+read requests", with "graceful aging of archived data ... using
+wavelet-based multi-resolution techniques [10]" under storage pressure.
+
+This package provides the page-level flash device model (with energy
+charging), the log-structured archive with its sparse time index, and the
+aging policy.
+"""
+
+from repro.storage.flash import FlashDevice, FlashStats
+from repro.storage.time_index import IndexEntry, TimeIndex
+from repro.storage.archive import ArchiveRecord, SensorArchive
+from repro.storage.aging import AgingPolicy, AgedSegment
+
+__all__ = [
+    "FlashDevice",
+    "FlashStats",
+    "IndexEntry",
+    "TimeIndex",
+    "ArchiveRecord",
+    "SensorArchive",
+    "AgingPolicy",
+    "AgedSegment",
+]

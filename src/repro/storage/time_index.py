@@ -1,0 +1,121 @@
+"""Sparse time-based index over an append-only archive.
+
+"... as well as a simple time-based index structure to efficiently service
+read requests" (Section 4).  Because the archive is written in time order,
+the index is a sorted list of ``(start_time, record_id)`` entries — one per
+stored segment — and lookups are binary searches.  This mirrors what a mote
+can afford: O(log n) reads, O(1) appends, a few bytes of RAM per segment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One indexed archive segment."""
+
+    start_time: float
+    end_time: float
+    record_id: int
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError(
+                f"segment ends ({self.end_time}) before it starts ({self.start_time})"
+            )
+
+    def covers(self, timestamp: float) -> bool:
+        """Whether *timestamp* falls inside this segment (inclusive)."""
+        return self.start_time <= timestamp <= self.end_time
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether the segment intersects ``[start, end]``."""
+        return self.start_time <= end and start <= self.end_time
+
+
+class TimeIndex:
+    """Append-mostly sorted index with binary-search lookups."""
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._entries: list[IndexEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, entry: IndexEntry) -> None:
+        """Add a segment; appends must not move backwards in time."""
+        if self._entries and entry.start_time < self._entries[-1].start_time:
+            raise ValueError(
+                f"out-of-order append: {entry.start_time} after "
+                f"{self._entries[-1].start_time}"
+            )
+        self._starts.append(entry.start_time)
+        self._entries.append(entry)
+
+    def replace(self, record_id: int, replacement: IndexEntry) -> None:
+        """Swap the entry with *record_id* for *replacement* (same span).
+
+        Used by aging: a raw segment is replaced by its summary in place.
+        """
+        for position, entry in enumerate(self._entries):
+            if entry.record_id == record_id:
+                if (
+                    replacement.start_time != entry.start_time
+                    or replacement.end_time != entry.end_time
+                ):
+                    raise ValueError("replacement must cover the same time span")
+                self._entries[position] = replacement
+                return
+        raise KeyError(f"record id {record_id} not in index")
+
+    def remove(self, record_id: int) -> IndexEntry:
+        """Delete and return the entry with *record_id*."""
+        for position, entry in enumerate(self._entries):
+            if entry.record_id == record_id:
+                del self._entries[position]
+                del self._starts[position]
+                return entry
+        raise KeyError(f"record id {record_id} not in index")
+
+    def lookup(self, timestamp: float) -> IndexEntry | None:
+        """Segment containing *timestamp*, or None."""
+        position = bisect.bisect_right(self._starts, timestamp) - 1
+        if position < 0:
+            return None
+        entry = self._entries[position]
+        return entry if entry.covers(timestamp) else None
+
+    def range(self, start: float, end: float) -> list[IndexEntry]:
+        """All segments overlapping ``[start, end]``, oldest first."""
+        if end < start:
+            raise ValueError(f"empty range [{start}, {end}]")
+        # first candidate: the segment that could contain `start`
+        position = max(bisect.bisect_right(self._starts, start) - 1, 0)
+        found: list[IndexEntry] = []
+        for entry in self._entries[position:]:
+            if entry.start_time > end:
+                break
+            if entry.overlaps(start, end):
+                found.append(entry)
+        return found
+
+    def oldest(self) -> IndexEntry | None:
+        """The earliest segment, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def entries(self) -> list[IndexEntry]:
+        """Copy of all entries, oldest first."""
+        return list(self._entries)
+
+    @property
+    def span(self) -> tuple[float, float] | None:
+        """(earliest start, latest end) over all segments."""
+        if not self._entries:
+            return None
+        return self._entries[0].start_time, max(
+            entry.end_time for entry in self._entries
+        )

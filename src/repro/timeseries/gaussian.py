@@ -1,0 +1,117 @@
+"""Multivariate Gaussian model over a group of sensors (BBQ-style).
+
+Used by the proxy for *spatial* extrapolation: "Cached data from other
+nearby sensors ... can be used for such extrapolation" (Section 2).  The
+model learns the joint mean/covariance of the sensors a proxy manages; when
+a query needs a sensor whose cache entry is stale or missing, the proxy
+conditions the joint on whichever sensors *are* fresh and answers with the
+conditional mean, with the conditional variance bounding the error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MultivariateGaussianModel:
+    """Joint Gaussian over ``n`` co-located sensors.
+
+    Fitted from a (samples x sensors) matrix of aligned historical readings;
+    regularised so conditioning stays well-posed even with short windows.
+    """
+
+    def __init__(self, regularization: float = 1e-6) -> None:
+        if regularization < 0:
+            raise ValueError(f"regularization must be >= 0, got {regularization}")
+        self.regularization = float(regularization)
+        self._mean: np.ndarray | None = None
+        self._cov: np.ndarray | None = None
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensors in the joint model."""
+        if self._mean is None:
+            raise RuntimeError("model not fitted")
+        return int(self._mean.shape[0])
+
+    def fit(self, readings: np.ndarray) -> "MultivariateGaussianModel":
+        """Fit mean and covariance from aligned rows of readings."""
+        readings = np.asarray(readings, dtype=np.float64)
+        if readings.ndim != 2:
+            raise ValueError(f"expected (samples, sensors), got shape {readings.shape}")
+        samples, sensors = readings.shape
+        if samples < 2:
+            raise ValueError(f"need >= 2 samples, got {samples}")
+        if not np.all(np.isfinite(readings)):
+            raise ValueError("readings contain non-finite entries")
+        self._mean = readings.mean(axis=0)
+        centred = readings - self._mean
+        self._cov = (centred.T @ centred) / (samples - 1)
+        self._cov = self._cov + self.regularization * np.eye(sensors)
+        return self
+
+    def _require_fit(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._mean is None or self._cov is None:
+            raise RuntimeError("model not fitted")
+        return self._mean, self._cov
+
+    def marginal(self, index: int) -> tuple[float, float]:
+        """Marginal ``(mean, std)`` of one sensor."""
+        mean, cov = self._require_fit()
+        return float(mean[index]), float(np.sqrt(max(cov[index, index], 0.0)))
+
+    def condition(
+        self, observed: dict[int, float]
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Condition the joint on observed sensor values.
+
+        Returns ``(cond_mean, cond_std, hidden_indices)`` for the unobserved
+        sensors, using the standard Gaussian conditioning identities.
+        Observing nothing returns the prior marginals; observing everything
+        returns empty arrays.
+        """
+        mean, cov = self._require_fit()
+        n = mean.shape[0]
+        observed_idx = sorted(observed)
+        for index in observed_idx:
+            if index < 0 or index >= n:
+                raise IndexError(f"sensor index {index} out of range 0..{n - 1}")
+        hidden_idx = [i for i in range(n) if i not in observed]
+        if not hidden_idx:
+            return np.zeros(0), np.zeros(0), []
+        if not observed_idx:
+            stds = np.sqrt(np.clip(np.diag(cov)[hidden_idx], 0.0, None))
+            return mean[hidden_idx].copy(), stds, hidden_idx
+
+        mu_h = mean[hidden_idx]
+        mu_o = mean[observed_idx]
+        sigma_hh = cov[np.ix_(hidden_idx, hidden_idx)]
+        sigma_ho = cov[np.ix_(hidden_idx, observed_idx)]
+        sigma_oo = cov[np.ix_(observed_idx, observed_idx)]
+        delta = np.asarray(
+            [observed[i] for i in observed_idx], dtype=np.float64
+        ) - mu_o
+        solve = np.linalg.solve(sigma_oo, delta)
+        cond_mean = mu_h + sigma_ho @ solve
+        gain = np.linalg.solve(sigma_oo, sigma_ho.T)
+        cond_cov = sigma_hh - sigma_ho @ gain
+        cond_std = np.sqrt(np.clip(np.diag(cond_cov), 0.0, None))
+        return cond_mean, cond_std, hidden_idx
+
+    def estimate(self, sensor: int, observed: dict[int, float]) -> tuple[float, float]:
+        """Conditional ``(mean, std)`` of one sensor given the others.
+
+        If *sensor* itself is in *observed*, its value is returned with
+        zero uncertainty.
+        """
+        if sensor in observed:
+            return float(observed[sensor]), 0.0
+        cond_mean, cond_std, hidden_idx = self.condition(observed)
+        position = hidden_idx.index(sensor)
+        return float(cond_mean[position]), float(cond_std[position])
+
+    def correlation_matrix(self) -> np.ndarray:
+        """Pearson correlations implied by the fitted covariance."""
+        _, cov = self._require_fit()
+        stds = np.sqrt(np.clip(np.diag(cov), 1e-18, None))
+        return cov / np.outer(stds, stds)

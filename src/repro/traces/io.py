@@ -1,0 +1,121 @@
+"""Trace persistence (NPZ and CSV).
+
+Benchmarks cache generated traces to disk so sweep points share identical
+inputs; CSV export exists for eyeballing in external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.intel_lab import IntelLabConfig, TraceSet
+
+
+def save_trace_npz(trace: TraceSet, path: str | Path) -> None:
+    """Write a trace (plus its config) to a compressed ``.npz`` file."""
+    path = Path(path)
+    config = trace.config
+    np.savez_compressed(
+        path,
+        timestamps=trace.timestamps,
+        values=trace.values,
+        clean_values=trace.clean_values
+        if trace.clean_values is not None
+        else np.zeros((0, 0)),
+        config_fields=np.asarray(
+            [
+                config.n_sensors,
+                config.epoch_s,
+                config.duration_s,
+                config.base_temp_c,
+                config.diurnal_amplitude_c,
+                config.diurnal_peak_hour,
+                config.front_std_c,
+                config.front_timescale_s,
+                config.hvac_amplitude_c,
+                config.hvac_period_s,
+                config.hvac_jitter,
+                config.sensor_offset_std_c,
+                config.sensor_gain_std,
+                config.noise_std_c,
+                config.spike_rate_per_day,
+                config.spike_magnitude_c,
+                config.spike_duration_s,
+                config.dropout_rate,
+            ],
+            dtype=np.float64,
+        ),
+    )
+
+
+def load_trace_npz(path: str | Path) -> TraceSet:
+    """Load a trace saved by :func:`save_trace_npz`."""
+    path = Path(path)
+    with np.load(path) as data:
+        fields = data["config_fields"]
+        config = IntelLabConfig(
+            n_sensors=int(fields[0]),
+            epoch_s=float(fields[1]),
+            duration_s=float(fields[2]),
+            base_temp_c=float(fields[3]),
+            diurnal_amplitude_c=float(fields[4]),
+            diurnal_peak_hour=float(fields[5]),
+            front_std_c=float(fields[6]),
+            front_timescale_s=float(fields[7]),
+            hvac_amplitude_c=float(fields[8]),
+            hvac_period_s=float(fields[9]),
+            hvac_jitter=float(fields[10]),
+            sensor_offset_std_c=float(fields[11]),
+            sensor_gain_std=float(fields[12]),
+            noise_std_c=float(fields[13]),
+            spike_rate_per_day=float(fields[14]),
+            spike_magnitude_c=float(fields[15]),
+            spike_duration_s=float(fields[16]),
+            dropout_rate=float(fields[17]),
+        )
+        clean = data["clean_values"]
+        return TraceSet(
+            timestamps=data["timestamps"],
+            values=data["values"],
+            config=config,
+            clean_values=clean if clean.size else None,
+        )
+
+
+def save_trace_csv(trace: TraceSet, path: str | Path) -> None:
+    """Write ``timestamp, sensor_0, sensor_1, ...`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["timestamp"] + [f"sensor_{i}" for i in range(trace.n_sensors)]
+        )
+        for epoch in range(trace.n_epochs):
+            row = [f"{trace.timestamps[epoch]:.3f}"] + [
+                f"{trace.values[s, epoch]:.4f}" for s in range(trace.n_sensors)
+            ]
+            writer.writerow(row)
+
+
+def load_trace_csv(path: str | Path, config: IntelLabConfig) -> TraceSet:
+    """Load rows written by :func:`save_trace_csv` (config supplied by caller)."""
+    path = Path(path)
+    timestamps: list[float] = []
+    columns: list[list[float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        n_sensors = len(header) - 1
+        columns = [[] for _ in range(n_sensors)]
+        for row in reader:
+            timestamps.append(float(row[0]))
+            for sensor in range(n_sensors):
+                columns[sensor].append(float(row[sensor + 1]))
+    return TraceSet(
+        timestamps=np.asarray(timestamps, dtype=np.float64),
+        values=np.asarray(columns, dtype=np.float64),
+        config=config,
+    )

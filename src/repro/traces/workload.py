@@ -1,0 +1,165 @@
+"""Query workload generation.
+
+The architecture-comparison benchmarks (quantified Table 1) replay the same
+query stream against every architecture.  Queries arrive as a Poisson
+process; each query picks a sensor by a Zipf popularity law (users care
+about a few hot spots), is NOW or PAST per a configured mix, and carries the
+precision and latency requirements that PRESTO's query–sensor matching
+consumes (Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class QueryKind(enum.Enum):
+    """Query families the PRESTO proxy distinguishes."""
+
+    NOW = "now"                  # current value of a sensor
+    PAST_POINT = "past_point"    # value at a historical instant
+    PAST_RANGE = "past_range"    # series over a historical window
+    PAST_AGG = "past_agg"        # aggregate (min/max/mean) over a window
+
+
+@dataclass(frozen=True)
+class Query:
+    """One user query against the unified store."""
+
+    query_id: int
+    kind: QueryKind
+    sensor: int
+    arrival_time: float
+    target_time: float           # instant queried (NOW: == arrival_time)
+    window_s: float = 0.0        # PAST_RANGE / PAST_AGG window length
+    precision: float = 0.5       # acceptable absolute error (signal units)
+    latency_bound_s: float = 10.0
+    aggregate: str = "mean"      # for PAST_AGG: mean | min | max
+
+    def __post_init__(self) -> None:
+        if self.precision <= 0:
+            raise ValueError(f"precision must be positive, got {self.precision}")
+        if self.latency_bound_s <= 0:
+            raise ValueError(f"latency bound must be positive, got {self.latency_bound_s}")
+        if self.kind in (QueryKind.PAST_RANGE, QueryKind.PAST_AGG) and self.window_s <= 0:
+            raise ValueError(f"{self.kind.value} query needs a positive window")
+        if self.aggregate not in ("mean", "min", "max"):
+            raise ValueError(f"unknown aggregate {self.aggregate!r}")
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Knobs of the query stream."""
+
+    arrival_rate_per_s: float = 1.0 / 60.0   # one query a minute
+    now_fraction: float = 0.6
+    past_point_fraction: float = 0.2
+    past_range_fraction: float = 0.1
+    past_agg_fraction: float = 0.1
+    zipf_exponent: float = 1.1               # sensor popularity skew
+    precision: float = 0.5
+    precision_jitter: float = 0.25           # +/- fraction of precision
+    latency_bound_s: float = 10.0
+    past_horizon_s: float = 86_400.0         # how far back PAST queries reach
+    window_s: float = 3_600.0                # PAST_RANGE/AGG window length
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.now_fraction
+            + self.past_point_fraction
+            + self.past_range_fraction
+            + self.past_agg_fraction
+        )
+        if abs(fractions - 1.0) > 1e-9:
+            raise ValueError(f"query-mix fractions sum to {fractions}, expected 1.0")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+
+
+class QueryWorkloadGenerator:
+    """Seeded Poisson/Zipf query stream over a deployment."""
+
+    def __init__(
+        self,
+        n_sensors: int,
+        config: QueryWorkloadConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_sensors < 1:
+            raise ValueError(f"need >= 1 sensor, got {n_sensors}")
+        self.n_sensors = int(n_sensors)
+        self.config = config or QueryWorkloadConfig()
+        self._rng = rng or np.random.default_rng(0)
+        self._zipf_weights = self._make_zipf_weights()
+
+    def _make_zipf_weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.n_sensors + 1, dtype=np.float64)
+        weights = ranks ** (-self.config.zipf_exponent)
+        return weights / weights.sum()
+
+    def generate(self, start_s: float, end_s: float) -> list[Query]:
+        """All queries arriving in ``[start_s, end_s)``, time-ordered.
+
+        PAST queries target instants up to ``past_horizon_s`` before their
+        arrival (never before t=0), so early queries reach shallower history.
+        """
+        if end_s <= start_s:
+            raise ValueError(f"empty interval [{start_s}, {end_s})")
+        cfg = self.config
+        rng = self._rng
+        queries: list[Query] = []
+        time = start_s
+        query_id = 0
+        kinds = (
+            QueryKind.NOW,
+            QueryKind.PAST_POINT,
+            QueryKind.PAST_RANGE,
+            QueryKind.PAST_AGG,
+        )
+        mix = np.asarray(
+            [
+                cfg.now_fraction,
+                cfg.past_point_fraction,
+                cfg.past_range_fraction,
+                cfg.past_agg_fraction,
+            ]
+        )
+        while True:
+            time += rng.exponential(1.0 / cfg.arrival_rate_per_s)
+            if time >= end_s:
+                break
+            kind = kinds[int(rng.choice(len(kinds), p=mix))]
+            sensor = int(rng.choice(self.n_sensors, p=self._zipf_weights))
+            precision = cfg.precision * (
+                1.0 + cfg.precision_jitter * float(rng.uniform(-1.0, 1.0))
+            )
+            if kind is QueryKind.NOW:
+                target = time
+                window = 0.0
+            else:
+                lookback = float(rng.uniform(0.0, min(cfg.past_horizon_s, time)))
+                target = max(time - lookback, 0.0)
+                window = cfg.window_s if kind in (
+                    QueryKind.PAST_RANGE, QueryKind.PAST_AGG
+                ) else 0.0
+                if window > 0:
+                    target = max(target - window, 0.0)
+            aggregate = ("mean", "min", "max")[int(rng.integers(0, 3))]
+            queries.append(
+                Query(
+                    query_id=query_id,
+                    kind=kind,
+                    sensor=sensor,
+                    arrival_time=float(time),
+                    target_time=float(target),
+                    window_s=float(window),
+                    precision=float(max(precision, 1e-3)),
+                    latency_bound_s=cfg.latency_bound_s,
+                    aggregate=aggregate,
+                )
+            )
+            query_id += 1
+        return queries

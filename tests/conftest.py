@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic traces, meters, RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.meter import EnergyMeter
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def meter() -> EnergyMeter:
+    """A fresh energy meter."""
+    return EnergyMeter("test")
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> TraceSet:
+    """4 sensors x 1 day, no dropouts — fast shared input."""
+    config = IntelLabConfig(
+        n_sensors=4,
+        duration_s=86_400.0,
+        epoch_s=31.0,
+        spike_rate_per_day=0.5,
+    )
+    return IntelLabGenerator(config, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def two_day_trace() -> TraceSet:
+    """6 sensors x 2 days — for integration tests."""
+    config = IntelLabConfig(
+        n_sensors=6,
+        duration_s=2 * 86_400.0,
+        epoch_s=31.0,
+        spike_rate_per_day=0.5,
+    )
+    return IntelLabGenerator(config, seed=9).generate()
+
+
+@pytest.fixture
+def daily_signal() -> np.ndarray:
+    """One synthetic day of a diurnal signal with noise (2880 samples)."""
+    rng = np.random.default_rng(3)
+    t = np.arange(2880) * 30.0
+    return (
+        20.0
+        + 5.0 * np.sin(2.0 * np.pi * t / 86_400.0 - np.pi / 2.0)
+        + rng.normal(0.0, 0.3, t.size)
+    )

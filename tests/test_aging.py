@@ -1,0 +1,80 @@
+"""Unit tests for the aging policy."""
+
+import numpy as np
+import pytest
+
+from repro.energy.constants import MICA2_FLASH
+from repro.energy.meter import EnergyMeter
+from repro.storage.aging import AgingPolicy, reconstruction_error_by_level
+from repro.storage.archive import SensorArchive
+from repro.storage.flash import FlashDevice
+
+
+def tiny_archive(capacity_pages=4, segment_readings=64, max_level=3):
+    meter = EnergyMeter("sensor")
+    flash = FlashDevice(
+        MICA2_FLASH, meter, capacity_bytes=capacity_pages * MICA2_FLASH.page_bytes
+    )
+    return SensorArchive(
+        flash,
+        segment_readings=segment_readings,
+        aging_policy=AgingPolicy(max_level=max_level),
+        sample_period_s=30.0,
+    )
+
+
+class TestAgingPolicy:
+    def test_make_room_coarsens_oldest_first(self):
+        archive = tiny_archive()
+        for i in range(4 * 64):
+            archive.append(i * 30.0, float(i % 9))
+        # device now full; force another segment
+        for i in range(4 * 64, 5 * 64):
+            archive.append(i * 30.0, float(i % 9))
+        aged_ids = [a.record_id for a in archive.aging_policy.history]
+        assert aged_ids, "aging must have happened"
+        assert aged_ids[0] == 0  # oldest segment aged first
+
+    def test_aging_frees_pages(self):
+        archive = tiny_archive()
+        for i in range(6 * 64):
+            archive.append(i * 30.0, 20.0)
+        for action in archive.aging_policy.history:
+            assert action.pages_freed > 0
+
+    def test_eviction_after_floor(self):
+        archive = tiny_archive(capacity_pages=3, max_level=1)
+        for i in range(12 * 64):
+            archive.append(i * 30.0, 20.0)
+        # with a shallow floor the policy must eventually evict
+        assert archive.aging_policy.evictions > 0
+
+    def test_max_level_respected(self):
+        archive = tiny_archive(max_level=2)
+        for i in range(12 * 64):
+            archive.append(i * 30.0, 20.0)
+        for record in archive.records.values():
+            assert record.level <= 2
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            AgingPolicy(max_level=0)
+
+    def test_make_room_on_empty_archive_fails_gracefully(self):
+        archive = tiny_archive()
+        assert archive.aging_policy.make_room(archive) is False
+
+
+class TestReconstructionError:
+    def test_error_grows_monotonically_with_level(self, rng):
+        t = np.arange(512)
+        segment = 20.0 + 3.0 * np.sin(2 * np.pi * t / 128) + rng.normal(0, 0.2, 512)
+        points = reconstruction_error_by_level(segment, max_level=5)
+        errors = [e for _, e in points]
+        assert errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert all(a <= b + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_constant_segment_ages_losslessly(self):
+        points = reconstruction_error_by_level(np.full(256, 21.5), max_level=4)
+        for _, error in points:
+            assert error < 1e-9

@@ -1,0 +1,150 @@
+"""Unit + comparison tests for the Table 1 baseline architectures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BbqArchitecture,
+    DirectQueryingArchitecture,
+    StreamingArchitecture,
+    ValuePushArchitecture,
+)
+from repro.traces.workload import QueryKind, QueryWorkloadConfig, QueryWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload(two_day_trace):
+    generator = QueryWorkloadGenerator(
+        two_day_trace.n_sensors,
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 300.0),
+        np.random.default_rng(4),
+    )
+    return generator.generate(3600.0, two_day_trace.config.duration_s)
+
+
+@pytest.fixture(scope="module")
+def duration(two_day_trace):
+    return two_day_trace.config.duration_s
+
+
+class TestDirectQuerying:
+    def test_now_queries_answered_exactly(self, two_day_trace, workload, duration):
+        report = DirectQueryingArchitecture(two_day_trace, flood=False).run(
+            workload, duration
+        )
+        assert report.success_rate_kind(QueryKind.NOW) > 0.95
+
+    def test_past_queries_all_fail(self, two_day_trace, workload, duration):
+        """Table 1: 'No archival' — Diffusion/Cougar cannot answer PAST."""
+        report = DirectQueryingArchitecture(two_day_trace).run(workload, duration)
+        assert report.success_rate_kind(
+            QueryKind.PAST_POINT, QueryKind.PAST_RANGE, QueryKind.PAST_AGG
+        ) == 0.0
+
+    def test_latency_gated_on_duty_cycle(self, two_day_trace, workload, duration):
+        """Direct querying pays the sensor wake-up wait on every NOW query."""
+        report = DirectQueryingArchitecture(two_day_trace).run(workload, duration)
+        now_answers = [
+            a for a in report.answers if a.query.kind is QueryKind.NOW and a.answered
+        ]
+        assert all(a.latency_s > 0.4 for a in now_answers)
+
+    def test_flooding_costs_more_than_unicast(self, two_day_trace, workload, duration):
+        diffusion = DirectQueryingArchitecture(two_day_trace, flood=True).run(
+            workload, duration
+        )
+        cougar = DirectQueryingArchitecture(two_day_trace, flood=False).run(
+            workload, duration
+        )
+        assert diffusion.sensor_energy_j > cougar.sensor_energy_j
+
+
+class TestStreaming:
+    def test_everything_answerable(self, two_day_trace, workload, duration):
+        report = StreamingArchitecture(two_day_trace).run(workload, duration)
+        assert report.success_rate > 0.95
+        assert report.mean_error < 0.05
+
+    def test_latency_fast(self, two_day_trace, workload, duration):
+        report = StreamingArchitecture(two_day_trace).run(workload, duration)
+        assert report.mean_latency_s < 0.05
+
+    def test_streams_every_reading(self, two_day_trace, workload, duration):
+        report = StreamingArchitecture(two_day_trace).run(workload, duration)
+        readings = int(np.count_nonzero(~np.isnan(two_day_trace.values)))
+        assert report.messages >= readings
+
+
+class TestBbq:
+    def test_prediction_answers_cheaper_than_streaming(
+        self, two_day_trace, workload, duration
+    ):
+        bbq = BbqArchitecture(two_day_trace).run(workload, duration)
+        streaming = StreamingArchitecture(two_day_trace).run(workload, duration)
+        assert bbq.sensor_energy_j < streaming.sensor_energy_j
+
+    def test_acquisitions_happen(self, two_day_trace, workload, duration):
+        arch = BbqArchitecture(two_day_trace, observation_interval_s=1800.0)
+        report = arch.run(workload, duration)
+        # at least the observation rounds acquired data
+        assert report.messages >= two_day_trace.n_sensors * int(
+            duration / 1800.0
+        ) * 0.9
+
+    def test_past_accuracy_limited_by_observations(
+        self, two_day_trace, workload, duration
+    ):
+        """BBQ's proxy archive only holds what it pulled — PAST answers are
+        coarse (this is the gap PRESTO's sensor archive fills)."""
+        report = BbqArchitecture(two_day_trace).run(workload, duration)
+        past = report.success_rate_kind(
+            QueryKind.PAST_POINT, QueryKind.PAST_RANGE, QueryKind.PAST_AGG
+        )
+        assert past < 0.95
+
+    def test_invalid_interval(self, two_day_trace):
+        with pytest.raises(ValueError):
+            BbqArchitecture(two_day_trace, observation_interval_s=0.0)
+
+
+class TestValuePushArchitecture:
+    def test_error_bounded_by_delta(self, two_day_trace, workload, duration):
+        report = ValuePushArchitecture(two_day_trace, delta=1.0).run(
+            workload, duration
+        )
+        errors = [
+            abs(a.value - t)
+            for a, t in zip(report.answers, report.truths)
+            if a.value is not None and t is not None
+            and a.query.kind in (QueryKind.NOW, QueryKind.PAST_POINT)
+        ]
+        assert np.mean(errors) < 1.0
+        assert np.max(errors) < 3.0  # hold error can briefly exceed delta
+
+    def test_smaller_delta_more_energy(self, two_day_trace, workload, duration):
+        tight = ValuePushArchitecture(two_day_trace, delta=0.5).run(workload, duration)
+        loose = ValuePushArchitecture(two_day_trace, delta=2.0).run(workload, duration)
+        assert tight.sensor_energy_j > loose.sensor_energy_j
+
+    def test_invalid_delta(self, two_day_trace):
+        with pytest.raises(ValueError):
+            ValuePushArchitecture(two_day_trace, delta=0.0)
+
+
+class TestCrossArchitectureOrdering:
+    def test_energy_ordering_matches_table1(self, two_day_trace, workload, duration):
+        """Streaming pays the most sensor energy; the suppression-based
+        architectures (value push, BBQ) pay less."""
+        streaming = StreamingArchitecture(two_day_trace).run(workload, duration)
+        value = ValuePushArchitecture(two_day_trace, delta=1.0).run(
+            workload, duration
+        )
+        bbq = BbqArchitecture(two_day_trace).run(workload, duration)
+        assert streaming.sensor_energy_j > value.sensor_energy_j
+        assert streaming.sensor_energy_j > bbq.sensor_energy_j
+
+    def test_streaming_fastest_most_accurate(self, two_day_trace, workload, duration):
+        streaming = StreamingArchitecture(two_day_trace).run(workload, duration)
+        direct = DirectQueryingArchitecture(two_day_trace).run(workload, duration)
+        assert streaming.mean_latency_s < direct.mean_latency_s
+        assert streaming.success_rate > direct.success_rate

@@ -1,0 +1,125 @@
+"""Unit tests for the Figure 2 transmission strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.strategies import (
+    FIGURE2_BATCH_MINUTES,
+    batched_push_energy,
+    figure2_sweep,
+    figure2_trace_config,
+    value_driven_push_energy,
+)
+from repro.traces.intel_lab import IntelLabGenerator
+
+
+@pytest.fixture(scope="module")
+def fig2_trace():
+    config = figure2_trace_config(n_sensors=4, duration_days=2.0)
+    return IntelLabGenerator(config, seed=42).generate()
+
+
+class TestValueDrivenPush:
+    def test_smaller_delta_pushes_more(self, fig2_trace):
+        d1 = value_driven_push_energy(fig2_trace, 1.0)
+        d2 = value_driven_push_energy(fig2_trace, 2.0)
+        assert d1.messages > d2.messages
+        assert d1.total_energy_j > d2.total_energy_j
+
+    def test_first_reading_always_pushed(self, fig2_trace):
+        result = value_driven_push_energy(fig2_trace, 1e9)
+        assert result.messages == fig2_trace.n_sensors
+
+    def test_energy_independent_of_everything_but_trace(self, fig2_trace):
+        a = value_driven_push_energy(fig2_trace, 1.0)
+        b = value_driven_push_energy(fig2_trace, 1.0)
+        assert a.total_energy_j == b.total_energy_j
+
+    def test_per_sensor_sums_to_total(self, fig2_trace):
+        result = value_driven_push_energy(fig2_trace, 1.0)
+        assert sum(result.per_sensor_energy_j) == pytest.approx(
+            result.total_energy_j
+        )
+
+    def test_invalid_delta(self, fig2_trace):
+        with pytest.raises(ValueError):
+            value_driven_push_energy(fig2_trace, 0.0)
+
+
+class TestBatchedPush:
+    def test_energy_decreases_with_batching(self, fig2_trace):
+        energies = [
+            batched_push_energy(fig2_trace, minutes * 60.0, "none").total_energy_j
+            for minutes in (16.5, 66.0, 264.0, 1058.0)
+        ]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_wavelet_beats_raw(self, fig2_trace):
+        for minutes in (33.0, 264.0):
+            wavelet = batched_push_energy(fig2_trace, minutes * 60.0, "wavelet")
+            raw = batched_push_energy(fig2_trace, minutes * 60.0, "none")
+            assert wavelet.total_energy_j < raw.total_energy_j
+
+    def test_wavelet_gap_widens_with_interval(self, fig2_trace):
+        """Compression improves with batch length — the paper's gain (b)."""
+        small_w = batched_push_energy(fig2_trace, 16.5 * 60, "wavelet")
+        small_r = batched_push_energy(fig2_trace, 16.5 * 60, "none")
+        large_w = batched_push_energy(fig2_trace, 1058 * 60, "wavelet")
+        large_r = batched_push_energy(fig2_trace, 1058 * 60, "none")
+        assert large_r.total_energy_j / large_w.total_energy_j > \
+            small_r.total_energy_j / small_w.total_energy_j
+
+    def test_message_count_matches_interval(self, fig2_trace):
+        result = batched_push_energy(fig2_trace, 3600.0, "none")
+        expected = fig2_trace.n_sensors * int(
+            np.ceil(fig2_trace.n_epochs / (3600.0 / 31.0))
+        )
+        assert result.messages == pytest.approx(expected, abs=fig2_trace.n_sensors)
+
+    def test_all_readings_accounted(self, fig2_trace):
+        result = batched_push_energy(fig2_trace, 3600.0, "none")
+        assert result.readings == fig2_trace.n_sensors * fig2_trace.n_epochs
+
+    def test_invalid_inputs(self, fig2_trace):
+        with pytest.raises(ValueError):
+            batched_push_energy(fig2_trace, 3600.0, "zip")
+        with pytest.raises(ValueError):
+            batched_push_energy(fig2_trace, 1.0, "none")
+
+
+class TestFigure2Sweep:
+    def test_produces_four_series(self, fig2_trace):
+        series = figure2_sweep(fig2_trace)
+        assert set(series) == {
+            "batched_wavelet",
+            "batched_raw",
+            "value_push_delta1",
+            "value_push_delta2",
+        }
+        for points in series.values():
+            assert [m for m, _ in points] == list(FIGURE2_BATCH_MINUTES)
+
+    def test_paper_shape_holds(self, fig2_trace):
+        """The qualitative claims of Figure 2, asserted:
+
+        1. both batched series decrease monotonically with the interval;
+        2. wavelet-denoised batching dominates raw batching everywhere;
+        3. the value-driven series are flat; Δ=1 costs more than Δ=2;
+        4. crossover: raw batching starts above Δ=1 but ends below it.
+        """
+        series = figure2_sweep(fig2_trace)
+        raw = [e for _, e in series["batched_raw"]]
+        wavelet = [e for _, e in series["batched_wavelet"]]
+        d1 = [e for _, e in series["value_push_delta1"]]
+        d2 = [e for _, e in series["value_push_delta2"]]
+        # 1: monotone decline
+        assert all(a >= b for a, b in zip(raw, raw[1:]))
+        assert all(a >= b for a, b in zip(wavelet, wavelet[1:]))
+        # 2: wavelet dominates
+        assert all(w < r for w, r in zip(wavelet, raw))
+        # 3: flat value-driven, ordered by delta
+        assert len(set(d1)) == 1 and len(set(d2)) == 1
+        assert d1[0] > d2[0]
+        # 4: crossover with the Δ=1 line
+        assert raw[0] > d1[0]
+        assert raw[-1] < d1[-1]

@@ -1,0 +1,43 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure2_defaults(self):
+        args = build_parser().parse_args(["figure2"])
+        assert args.sensors == 8 and args.days == 2.0
+
+    def test_run_model_choices(self):
+        args = build_parser().parse_args(["run", "--model", "sarima"])
+        assert args.model == "sarima"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "lstm"])
+
+
+class TestCommands:
+    def test_figure2_prints_series(self, capsys):
+        assert main(["figure2", "--sensors", "2", "--days", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "batched_wavelet" in output
+        assert "2116" in output
+
+    def test_run_prints_report(self, capsys):
+        assert main(
+            ["run", "--sensors", "2", "--days", "0.5", "--model", "ar"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "sensor_energy_j" in output
+        assert "answer_mix" in output
+
+    def test_models_prints_all_families(self, capsys):
+        assert main(["models", "--days", "0.5"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("arima", "ar", "seasonal", "markov"):
+            assert kind in output

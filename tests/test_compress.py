@@ -1,0 +1,82 @@
+"""Unit tests for wavelet block compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.compress import (
+    compress_block,
+    compressed_size_bytes,
+    compression_error,
+    decompress_block,
+)
+from repro.signal.denoise import denoise
+from repro.signal.wavelets import HAAR
+
+
+@pytest.fixture
+def smooth_batch(rng):
+    t = np.arange(512) * 30.0
+    return 20.0 + 5.0 * np.sin(2 * np.pi * t / 86_400.0) + rng.normal(0, 0.2, 512)
+
+
+class TestCompressBlock:
+    def test_roundtrip_matches_denoised_within_quant(self, smooth_batch):
+        block = compress_block(smooth_batch, quant_step=0.05, denoise_threshold=0.0)
+        recon = decompress_block(block)
+        # with no denoising, reconstruction error is pure quantisation
+        assert np.max(np.abs(recon - smooth_batch)) < 0.05 * np.sqrt(512) / 2
+
+    def test_smaller_than_raw(self, smooth_batch):
+        block = compress_block(smooth_batch, quant_step=0.05)
+        assert compressed_size_bytes(block) < smooth_batch.size * 8 / 4
+
+    def test_finer_quantisation_costs_more(self, smooth_batch):
+        fine = compress_block(smooth_batch, quant_step=0.01)
+        coarse = compress_block(smooth_batch, quant_step=0.5)
+        assert compressed_size_bytes(fine) > compressed_size_bytes(coarse)
+
+    def test_original_length_preserved(self, rng):
+        x = rng.normal(size=300) + 20  # not a power of two
+        block = compress_block(x)
+        assert decompress_block(block).shape == (300,)
+
+    def test_tiny_block_stored_raw(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        block = compress_block(x, quant_step=0.1)
+        recon = decompress_block(block)
+        np.testing.assert_allclose(recon, x, atol=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compress_block(np.zeros(0))
+
+    def test_bad_quant_rejected(self, smooth_batch):
+        with pytest.raises(ValueError):
+            compress_block(smooth_batch, quant_step=0.0)
+
+    def test_wavelet_mismatch_rejected(self, smooth_batch):
+        block = compress_block(smooth_batch)
+        with pytest.raises(ValueError):
+            decompress_block(block, wavelet=HAAR)
+
+    def test_compression_error_close_to_denoised(self, smooth_batch):
+        block = compress_block(smooth_batch, quant_step=0.05)
+        rms = compression_error(block, denoise(smooth_batch))
+        assert rms < 0.2
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip_random_smooth(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 200))
+        x = np.cumsum(rng.normal(0, 0.05, n)) + 20.0
+        block = compress_block(x, quant_step=0.05, denoise_threshold=0.0)
+        recon = decompress_block(block)
+        assert recon.shape == x.shape
+        assert np.sqrt(np.mean((recon - x) ** 2)) < 0.5
+
+    def test_size_accounts_header(self, smooth_batch):
+        block = compress_block(smooth_batch, quant_step=0.05)
+        assert compressed_size_bytes(block) >= 9  # header floor

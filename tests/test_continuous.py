@@ -1,0 +1,147 @@
+"""Unit + integration tests for continuous (standing) queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheEntry, EntrySource
+from repro.core.continuous import (
+    ContinuousQuery,
+    ContinuousQueryEngine,
+    TriggerKind,
+)
+from repro.core import PrestoConfig, PrestoSystem
+from repro.traces.events import inject_events
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+
+
+def entry(t, value, source=EntrySource.PUSHED):
+    return CacheEntry(timestamp=t, value=value, std=0.0, source=source)
+
+
+class TestEngine:
+    def test_above_trigger(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=25.0))
+        assert engine.on_entry(0, entry(1.0, 24.0)) == []
+        fired = engine.on_entry(0, entry(2.0, 26.0))
+        assert len(fired) == 1
+        assert fired[0].value == 26.0
+
+    def test_below_trigger(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.BELOW, threshold=10.0))
+        assert engine.on_entry(0, entry(1.0, 15.0)) == []
+        assert len(engine.on_entry(0, entry(2.0, 5.0))) == 1
+
+    def test_delta_trigger_needs_history(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.DELTA, threshold=2.0))
+        assert engine.on_entry(0, entry(1.0, 20.0)) == []  # no previous value
+        assert engine.on_entry(0, entry(2.0, 21.0)) == []  # delta 1 < 2
+        assert len(engine.on_entry(0, entry(3.0, 24.0))) == 1
+
+    def test_sensor_isolation(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=1, kind=TriggerKind.ABOVE, threshold=0.0))
+        assert engine.on_entry(0, entry(1.0, 100.0)) == []
+
+    def test_rate_limiting(self):
+        engine = ContinuousQueryEngine()
+        engine.register(
+            ContinuousQuery(
+                sensor=0, kind=TriggerKind.ABOVE, threshold=0.0, min_interval_s=100.0
+            )
+        )
+        assert len(engine.on_entry(0, entry(0.0, 1.0))) == 1
+        assert engine.on_entry(0, entry(50.0, 1.0)) == []   # suppressed
+        assert len(engine.on_entry(0, entry(150.0, 1.0))) == 1
+
+    def test_cancel(self):
+        engine = ContinuousQueryEngine()
+        qid = engine.register(
+            ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=0.0)
+        )
+        engine.cancel(qid)
+        assert engine.on_entry(0, entry(1.0, 5.0)) == []
+        assert engine.active == []
+
+    def test_multiple_queries_fire_together(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=20.0))
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=25.0))
+        fired = engine.on_entry(0, entry(1.0, 30.0))
+        assert len(fired) == 2
+
+    def test_notifications_for(self):
+        engine = ContinuousQueryEngine()
+        qid = engine.register(
+            ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=0.0)
+        )
+        engine.on_entry(0, entry(1.0, 1.0))
+        engine.on_entry(0, entry(2.0, 2.0))
+        assert len(engine.notifications_for(qid)) == 2
+
+    def test_threshold_gap(self):
+        engine = ContinuousQueryEngine()
+        engine.register(ContinuousQuery(sensor=0, kind=TriggerKind.ABOVE, threshold=30.0))
+        assert engine.tightest_threshold_gap(0, 22.0) == pytest.approx(8.0)
+        assert engine.tightest_threshold_gap(1, 22.0) is None
+
+    def test_invalid_queries(self):
+        with pytest.raises(ValueError):
+            ContinuousQuery(sensor=0, kind=TriggerKind.DELTA, threshold=0.0)
+        with pytest.raises(ValueError):
+            ContinuousQuery(
+                sensor=0, kind=TriggerKind.ABOVE, threshold=1.0, min_interval_s=-1.0
+            )
+
+
+class TestEndToEnd:
+    def test_event_fires_standing_query_via_push(self):
+        """An injected 6-degree event must notify a standing threshold query
+        through the push path, within ~an epoch of its onset."""
+        trace_config = IntelLabConfig(
+            n_sensors=2,
+            duration_s=86_400.0,
+            epoch_s=31.0,
+            spike_rate_per_day=0.0,
+        )
+        base = IntelLabGenerator(trace_config, seed=80).generate()
+        trace, events = inject_events(
+            base,
+            np.random.default_rng(89),  # seed drawing 4 positive events
+            rate_per_sensor_day=1.0,
+            magnitude=8.0,
+            duration_epochs=20,
+        )
+        positive = [e for e in events if e.magnitude > 0]
+        assert positive, "fixture seed must draw positive events"
+        system = PrestoSystem(
+            trace,
+            PrestoConfig(sample_period_s=31.0, refit_interval_s=4 * 3600.0),
+            seed=82,
+        )
+        # arm: "tell me when any sensor exceeds baseline + 4"
+        for sensor in range(trace.n_sensors):
+            baseline = float(np.nanmean(base.values[sensor]))
+            system.proxy.continuous.register(
+                ContinuousQuery(
+                    sensor=sensor,
+                    kind=TriggerKind.ABOVE,
+                    threshold=baseline + 4.0,
+                    min_interval_s=600.0,
+                )
+            )
+        system.run()
+        notifications = system.proxy.continuous.notifications
+        assert notifications, "standing queries never fired"
+        # every positive event should have produced a notification near onset
+        for event in positive:
+            onset = event.start_epoch * 31.0
+            nearby = [
+                n
+                for n in notifications
+                if n.sensor == event.sensor
+                and onset - 62.0 <= n.timestamp <= onset + 20 * 31.0
+            ]
+            assert nearby, f"event at {onset}s produced no notification"

@@ -1,0 +1,121 @@
+"""Unit tests for the proxy summary cache."""
+
+import pytest
+
+from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+
+
+def entry(t, value=20.0, std=0.1, source=EntrySource.PREDICTED):
+    return CacheEntry(timestamp=t, value=value, std=std, source=source)
+
+
+@pytest.fixture
+def cache():
+    return SummaryCache(max_entries_per_sensor=100)
+
+
+class TestInsertion:
+    def test_insert_and_lookup(self, cache):
+        cache.insert(0, entry(10.0, 21.0))
+        found = cache.entry_at(0, 10.0, tolerance_s=1.0)
+        assert found.value == 21.0
+
+    def test_tolerance_respected(self, cache):
+        cache.insert(0, entry(10.0))
+        assert cache.entry_at(0, 15.0, tolerance_s=1.0) is None
+        assert cache.entry_at(0, 11.0, tolerance_s=2.0) is not None
+
+    def test_nearest_of_two(self, cache):
+        cache.insert(0, entry(10.0, 1.0))
+        cache.insert(0, entry(20.0, 2.0))
+        assert cache.entry_at(0, 14.0, 10.0).value == 1.0
+        assert cache.entry_at(0, 16.0, 10.0).value == 2.0
+
+    def test_out_of_order_backfill(self, cache):
+        cache.insert(0, entry(30.0))
+        cache.insert(0, entry(10.0))
+        cache.insert(0, entry(20.0))
+        times = [e.timestamp for e in cache.entries_in(0, 0.0, 100.0)]
+        assert times == [10.0, 20.0, 30.0]
+
+
+class TestRefinement:
+    def test_actual_replaces_predicted(self, cache):
+        cache.insert(0, entry(10.0, 20.0, source=EntrySource.PREDICTED))
+        cache.insert(0, entry(10.0, 21.5, source=EntrySource.PULLED))
+        found = cache.entry_at(0, 10.0, 1.0)
+        assert found.value == 21.5
+        assert found.is_actual
+        assert cache.refinements == 1
+
+    def test_predicted_never_replaces_actual(self, cache):
+        cache.insert(0, entry(10.0, 21.5, source=EntrySource.PUSHED))
+        cache.insert(0, entry(10.0, 19.0, source=EntrySource.PREDICTED))
+        assert cache.entry_at(0, 10.0, 1.0).value == 21.5
+
+    def test_actual_can_replace_actual(self, cache):
+        cache.insert(0, entry(10.0, 21.0, source=EntrySource.PUSHED))
+        cache.insert(0, entry(10.0, 21.2, source=EntrySource.PULLED))
+        assert cache.entry_at(0, 10.0, 1.0).value == 21.2
+
+    def test_predicted_updates_predicted(self, cache):
+        cache.insert(0, entry(10.0, 20.0, source=EntrySource.PREDICTED))
+        cache.insert(0, entry(10.0, 20.5, source=EntrySource.PREDICTED))
+        assert cache.entry_at(0, 10.0, 1.0).value == 20.5
+
+
+class TestEviction:
+    def test_oldest_evicted_beyond_capacity(self):
+        cache = SummaryCache(max_entries_per_sensor=16)
+        for i in range(32):
+            cache.insert(0, entry(float(i)))
+        assert cache.size(0) == 16
+        assert cache.entry_at(0, 0.0, 0.5) is None
+        assert cache.entry_at(0, 31.0, 0.5) is not None
+        assert cache.evictions == 16
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SummaryCache(max_entries_per_sensor=2)
+
+
+class TestQueries:
+    def test_entries_in_window(self, cache):
+        for i in range(10):
+            cache.insert(0, entry(float(i * 10)))
+        found = cache.entries_in(0, 25.0, 55.0)
+        assert [e.timestamp for e in found] == [30.0, 40.0, 50.0]
+
+    def test_latest_and_latest_actual(self, cache):
+        cache.insert(0, entry(10.0, source=EntrySource.PUSHED))
+        cache.insert(0, entry(20.0, source=EntrySource.PREDICTED))
+        assert cache.latest(0).timestamp == 20.0
+        assert cache.latest_actual(0).timestamp == 10.0
+
+    def test_latest_on_empty(self, cache):
+        assert cache.latest(7) is None
+        assert cache.latest_actual(7) is None
+
+    def test_coverage_fraction(self, cache):
+        for i in range(5):
+            cache.insert(0, entry(float(i * 30)))
+        coverage = cache.coverage_fraction(0, 0.0, 120.0, sample_period_s=30.0)
+        assert coverage == pytest.approx(1.0)
+        sparse = cache.coverage_fraction(0, 0.0, 300.0, sample_period_s=30.0)
+        assert sparse < 0.5
+
+    def test_coverage_invalid_window(self, cache):
+        with pytest.raises(ValueError):
+            cache.coverage_fraction(0, 10.0, 0.0, 30.0)
+
+    def test_per_sensor_isolation(self, cache):
+        cache.insert(0, entry(10.0, 1.0))
+        cache.insert(1, entry(10.0, 2.0))
+        assert cache.entry_at(0, 10.0, 1.0).value == 1.0
+        assert cache.entry_at(1, 10.0, 1.0).value == 2.0
+        assert set(cache.sensors) == {0, 1}
+
+    def test_size_total(self, cache):
+        cache.insert(0, entry(1.0))
+        cache.insert(1, entry(1.0))
+        assert cache.size() == 2

@@ -1,0 +1,151 @@
+"""Unit tests for the prediction engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.config import PrestoConfig
+from repro.core.prediction import PredictionEngine
+
+
+@pytest.fixture
+def config():
+    return PrestoConfig(sample_period_s=30.0, min_training_epochs=64)
+
+
+@pytest.fixture
+def engine(config):
+    return PredictionEngine(config, n_sensors=4)
+
+
+def training_series(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) * 30.0
+    values = 20.0 + 2.0 * np.sin(2 * np.pi * t / 86_400.0) + rng.normal(0, 0.2, n)
+    return values, t
+
+
+class TestModelFactory:
+    @pytest.mark.parametrize("kind", ["seasonal", "ar", "arima", "markov"])
+    def test_all_kinds_constructible(self, kind):
+        config = PrestoConfig(sample_period_s=30.0, model_kind=kind)
+        engine = PredictionEngine(config, 2)
+        model = engine.make_model()
+        assert model.sample_period_s == 30.0
+
+
+class TestRefit:
+    def test_refit_returns_update(self, engine):
+        values, t = training_series()
+        update = engine.refit(0, values, t)
+        assert update is not None
+        assert update.parameter_bytes > 0
+        assert engine.model_for(0) is not None
+
+    def test_short_window_returns_none(self, engine):
+        values, t = training_series(n=10)
+        assert engine.refit(0, values, t) is None
+
+    def test_custom_delta_embedded(self, engine):
+        values, t = training_series()
+        update = engine.refit(0, values, t, delta=0.25)
+        assert update.delta == 0.25
+
+    def test_refit_counter(self, engine):
+        values, t = training_series()
+        engine.refit(0, values, t)
+        engine.refit(1, values, t)
+        assert engine.refits == 2
+
+
+class TestTemporalExtrapolation:
+    def test_exact_cache_hit_passthrough(self, engine):
+        cache = SummaryCache(100)
+        cache.insert(0, CacheEntry(30.0, 21.0, 0.05, EntrySource.PUSHED))
+        estimate = engine.extrapolate_temporal(0, 30.0, cache)
+        assert estimate.value == 21.0
+        assert estimate.std == 0.05
+
+    def test_gap_extrapolation_from_latest(self, engine):
+        values, t = training_series()
+        engine.refit(0, values, t)
+        cache = SummaryCache(100)
+        cache.insert(0, CacheEntry(t[-1], values[-1], 0.1, EntrySource.PUSHED))
+        estimate = engine.extrapolate_temporal(0, t[-1] + 10 * 30.0, cache)
+        assert estimate is not None
+        assert abs(estimate.value - values[-1]) < 2.0
+        assert estimate.std >= 0.1
+
+    def test_empty_cache_no_model_returns_none(self, engine):
+        cache = SummaryCache(100)
+        assert engine.extrapolate_temporal(0, 100.0, cache) is None
+
+    def test_seasonal_model_predicts_at_time(self):
+        config = PrestoConfig(
+            sample_period_s=30.0, model_kind="seasonal", min_training_epochs=64
+        )
+        engine = PredictionEngine(config, 2)
+        values, t = training_series(n=2880)
+        engine.refit(0, values, t)
+        cache = SummaryCache(100)  # empty: forces the profile path
+        estimate = engine.extrapolate_temporal(0, t[-1] + 86_400.0 / 2, cache)
+        assert estimate is not None
+        assert 15.0 < estimate.value < 25.0
+
+
+class TestSpatialExtrapolation:
+    def test_conditioning_on_neighbours(self, engine, rng):
+        cov = 0.2 + 0.8 * np.eye(4)
+        readings = rng.multivariate_normal([20, 21, 19, 22], cov, size=600)
+        engine.fit_spatial(readings)
+        cache = SummaryCache(100)
+        for sensor in (1, 2, 3):
+            cache.insert(
+                sensor,
+                CacheEntry(60.0, readings[-1, sensor], 0.0, EntrySource.PUSHED),
+            )
+        estimate = engine.extrapolate_spatial(0, 60.0, cache)
+        assert estimate is not None
+        assert 15.0 < estimate.value < 25.0
+        assert estimate.std > 0
+
+    def test_no_actual_neighbours_returns_none(self, engine, rng):
+        engine.fit_spatial(rng.normal(20, 1, size=(100, 4)))
+        cache = SummaryCache(100)
+        # only PREDICTED entries: not usable as evidence
+        cache.insert(1, CacheEntry(60.0, 21.0, 0.2, EntrySource.PREDICTED))
+        assert engine.extrapolate_spatial(0, 60.0, cache) is None
+
+    def test_without_spatial_model_returns_none(self, engine):
+        cache = SummaryCache(100)
+        cache.insert(1, CacheEntry(60.0, 21.0, 0.0, EntrySource.PUSHED))
+        assert engine.extrapolate_spatial(0, 60.0, cache) is None
+
+
+class TestBestEstimate:
+    def test_picks_lower_std(self, engine, rng):
+        values, t = training_series()
+        engine.refit(0, values, t)
+        cov = 0.05 + 0.95 * np.eye(4)
+        engine.fit_spatial(rng.multivariate_normal([20] * 4, cov, size=600))
+        cache = SummaryCache(100)
+        cache.insert(0, CacheEntry(t[-1], values[-1], 0.3, EntrySource.PUSHED))
+        for sensor in (1, 2, 3):
+            cache.insert(sensor, CacheEntry(t[-1] + 300.0, 20.0, 0.0, EntrySource.PUSHED))
+        result = engine.best_estimate(0, t[-1] + 300.0, cache)
+        assert result is not None
+        estimate, method = result
+        assert method in ("temporal", "spatial")
+
+    def test_none_when_no_evidence(self, engine):
+        cache = SummaryCache(100)
+        assert engine.best_estimate(0, 100.0, cache) is None
+
+    def test_spatial_disabled_by_config(self, rng):
+        config = PrestoConfig(sample_period_s=30.0, spatial_extrapolation=False)
+        engine = PredictionEngine(config, 4)
+        engine.fit_spatial(rng.normal(20, 1, size=(100, 4)))
+        cache = SummaryCache(100)
+        for sensor in (1, 2, 3):
+            cache.insert(sensor, CacheEntry(60.0, 20.0, 0.0, EntrySource.PUSHED))
+        assert engine.best_estimate(0, 60.0, cache) is None

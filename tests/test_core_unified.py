@@ -1,0 +1,123 @@
+"""Unit tests for the unified logical store across proxies."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrestoConfig, PrestoSystem
+from repro.core.queries import AnswerSource
+from repro.core.unified import ProxyCell, UnifiedStore
+from repro.radio.link import LinkConfig
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import Query, QueryKind
+
+
+def build_two_cells(duration_s=6 * 3600.0):
+    """Two independent 2-sensor cells under one unified store."""
+    systems = []
+    for seed, name in ((1, "proxy"), (2, "proxy-b")):
+        config = IntelLabConfig(n_sensors=2, duration_s=duration_s, epoch_s=31.0)
+        trace = IntelLabGenerator(config, seed=seed).generate()
+        presto = PrestoConfig(
+            sample_period_s=31.0,
+            min_training_epochs=64,
+            refit_interval_s=3600.0,
+            link=LinkConfig(loss_probability=0.0),
+        )
+        systems.append(PrestoSystem(trace, presto, seed=seed, proxy_name=name))
+    store = UnifiedStore(replication_factor=1)
+    store.add_cell(
+        ProxyCell(systems[0].proxy, 0, 1, wired=True, response_latency_s=0.01)
+    )
+    store.add_cell(
+        ProxyCell(systems[1].proxy, 2, 3, wired=False, response_latency_s=0.2)
+    )
+    for system in systems:
+        system.run()
+    return store, systems
+
+
+@pytest.fixture(scope="module")
+def store_and_systems():
+    return build_two_cells()
+
+
+class TestRouting:
+    def test_query_routed_to_owning_cell(self, store_and_systems):
+        store, systems = store_and_systems
+        t = systems[0].sim.now - 5.0
+        answer = store.query(Query(0, QueryKind.NOW, 1, t, t, precision=0.8))
+        assert answer.answered
+        truth = systems[0].trace.values[1, systems[0].trace.epoch_of(t)]
+        assert answer.value == pytest.approx(truth, abs=1.5)
+
+    def test_global_to_local_translation(self, store_and_systems):
+        store, systems = store_and_systems
+        t = systems[1].sim.now - 5.0
+        answer = store.query(Query(1, QueryKind.NOW, 2, t, t, precision=0.8))
+        assert answer.answered
+        # global sensor 2 is local sensor 0 of cell b
+        truth = systems[1].trace.values[0, systems[1].trace.epoch_of(t)]
+        assert answer.value == pytest.approx(truth, abs=1.5)
+
+    def test_unroutable_sensor_fails(self, store_and_systems):
+        store, _ = store_and_systems
+        answer = store.query(Query(2, QueryKind.NOW, 99, 100.0, 100.0))
+        assert answer.source is AnswerSource.FAILED
+        assert store.unroutable_queries >= 1
+
+    def test_routing_latency_added(self, store_and_systems):
+        store, systems = store_and_systems
+        t = systems[0].sim.now - 5.0
+        answer = store.query(Query(3, QueryKind.NOW, 0, t, t, precision=0.8))
+        assert answer.latency_s > 0.002  # hop + proxy latency
+
+    def test_n_sensors(self, store_and_systems):
+        store, _ = store_and_systems
+        assert store.n_sensors == 4
+
+
+class TestFailover:
+    def test_wireless_failure_served_by_replica(self, store_and_systems):
+        store, systems = store_and_systems
+        store.plan_replication()
+        store.mark_proxy_down("proxy-b")
+        t = systems[1].sim.now - 5.0
+        answer = store.query(Query(4, QueryKind.NOW, 2, t, t, precision=0.8))
+        assert answer.answered
+        assert store.rerouted_queries >= 1
+        store.mark_proxy_up("proxy-b")
+
+    def test_total_failure_unanswerable(self):
+        store, systems = build_two_cells(duration_s=3 * 3600.0)
+        store.mark_proxy_down("proxy")
+        t = systems[0].sim.now - 5.0
+        answer = store.query(Query(5, QueryKind.NOW, 0, t, t, precision=0.8))
+        assert answer.source is AnswerSource.FAILED
+
+
+class TestOrderedView:
+    def test_merged_view_is_time_ordered(self, store_and_systems):
+        store, systems = store_and_systems
+        view = store.ordered_view(0.0, systems[0].sim.now)
+        assert len(view) > 0
+        times = [t for t, _, _ in view]
+        assert times == sorted(times)
+
+    def test_view_uses_global_ids(self, store_and_systems):
+        store, systems = store_and_systems
+        view = store.ordered_view(0.0, systems[0].sim.now)
+        sensors = {s for _, s, _ in view}
+        assert sensors <= {0, 1, 2, 3}
+        assert any(s >= 2 for s in sensors)  # cell b contributes
+
+    def test_duplicate_cell_rejected(self, store_and_systems):
+        store, systems = store_and_systems
+        with pytest.raises(ValueError):
+            store.add_cell(ProxyCell(systems[0].proxy, 10, 11))
+
+    def test_local_translation_bounds(self):
+        cell_proxy = type("P", (), {"name": "x"})()
+        cell = ProxyCell(cell_proxy, 4, 7)
+        assert cell.to_local(5) == 1
+        with pytest.raises(ValueError):
+            cell.to_local(3)

@@ -1,0 +1,117 @@
+"""Cross-validation: the analytic strategy calculators vs the DES paths.
+
+The Figure 2 harness computes energies analytically (no event simulation);
+the architecture comparison runs the same logic through the discrete-event
+substrate.  Where the two models implement the same protocol they must
+agree — these tests pin the agreement so the benches can't silently drift.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ValuePushArchitecture
+from repro.baselines.strategies import value_driven_push_energy
+from repro.core.push import ModelUpdate, ProxyModelTracker, SensorModelChecker
+from repro.timeseries.arima import ARIMAModel
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = IntelLabConfig(n_sensors=3, duration_s=86_400.0, epoch_s=31.0)
+    return IntelLabGenerator(config, seed=90).generate()
+
+
+class TestValuePushConsistency:
+    @pytest.mark.parametrize("delta", [0.5, 1.0, 2.0])
+    def test_message_counts_agree(self, trace, delta):
+        """The architecture's push log and the analytic scan must push at
+        exactly the same epochs (same rule, same trace)."""
+        analytic = value_driven_push_energy(trace, delta)
+        architecture = ValuePushArchitecture(trace, delta=delta)
+        architecture.run([], trace.config.duration_s)
+        assert architecture.messages == analytic.messages
+
+    def test_energy_proportional_to_messages(self, trace):
+        """Both paths charge per push; more pushes => more joules, in the
+        same ratio for both models (same per-push radio arithmetic family)."""
+        tight_a = value_driven_push_energy(trace, 0.5)
+        loose_a = value_driven_push_energy(trace, 2.0)
+        tight_d = ValuePushArchitecture(trace, delta=0.5)
+        loose_d = ValuePushArchitecture(trace, delta=2.0)
+        tight_d.run([], trace.config.duration_s)
+        loose_d.run([], trace.config.duration_s)
+        ratio_analytic = tight_a.messages / max(loose_a.messages, 1)
+        tight_j = sum(m.category_j("radio.push") for m in tight_d.meters)
+        loose_j = sum(m.category_j("radio.push") for m in loose_d.meters)
+        ratio_des = tight_j / max(loose_j, 1e-12)
+        assert ratio_des == pytest.approx(ratio_analytic, rel=0.01)
+
+
+class TestPushProtocolProperties:
+    """Hypothesis: the protocol invariants hold for arbitrary signals."""
+
+    @given(
+        seed=st.integers(0, 2**31),
+        delta=st.floats(0.05, 3.0),
+        step_scale=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_substitution_error_never_exceeds_delta(self, seed, delta, step_scale):
+        rng = np.random.default_rng(seed)
+        history = np.cumsum(rng.normal(0, 0.1, 600)) + 20.0
+        model = ARIMAModel(order=(1, 1, 0)).fit(history)
+        update = ModelUpdate(model=model, delta=delta)
+        checker = SensorModelChecker(update)
+        tracker = ProxyModelTracker(update)
+        value = float(history[-1])
+        for _ in range(120):
+            value += float(rng.normal(0, step_scale))
+            decision = checker.process(value)
+            if decision.push:
+                tracker.apply_push(value)
+            else:
+                substituted = tracker.advance_silent()
+                assert abs(substituted - value) <= delta + 1e-9
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_replicas_agree_after_any_trajectory(self, seed):
+        rng = np.random.default_rng(seed)
+        history = np.cumsum(rng.normal(0, 0.1, 600)) + 20.0
+        model = ARIMAModel(order=(1, 1, 0)).fit(history)
+        update = ModelUpdate(model=model, delta=0.5)
+        checker = SensorModelChecker(update)
+        tracker = ProxyModelTracker(update)
+        value = float(history[-1])
+        for _ in range(200):
+            value += float(rng.normal(0, 0.3))
+            decision = checker.process(value)
+            if decision.push:
+                tracker.apply_push(value)
+            else:
+                tracker.advance_silent()
+        assert checker._model.predict_next() == pytest.approx(
+            tracker._model.predict_next(), abs=1e-9
+        )
+
+    @given(
+        seed=st.integers(0, 2**31),
+        magnitude=st.floats(2.0, 20.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_large_event_pushes(self, seed, magnitude):
+        """For any event larger than delta, the very first affected reading
+        is pushed — the 'never miss the unexpected' guarantee."""
+        rng = np.random.default_rng(seed)
+        history = np.cumsum(rng.normal(0, 0.05, 600)) + 20.0
+        model = ARIMAModel(order=(1, 1, 0)).fit(history)
+        checker = SensorModelChecker(ModelUpdate(model=model, delta=1.0))
+        value = float(history[-1])
+        for _ in range(30):
+            value += float(rng.normal(0, 0.02))
+            checker.process(value)
+        decision = checker.process(value + magnitude)
+        assert decision.push

@@ -1,0 +1,89 @@
+"""Unit tests for wavelet denoising."""
+
+import numpy as np
+import pytest
+
+from repro.signal.denoise import (
+    denoise,
+    denoised_nonzero_fraction,
+    estimate_noise_sigma,
+    soft_threshold,
+    universal_threshold,
+)
+
+
+@pytest.fixture
+def noisy_sine(rng):
+    t = np.arange(1024)
+    clean = 10.0 + 3.0 * np.sin(2 * np.pi * t / 256)
+    return clean, clean + rng.normal(0.0, 0.4, t.size)
+
+
+class TestEstimators:
+    def test_sigma_estimate_close_to_truth(self, rng):
+        # finest detail band of pure noise has std ~ sigma
+        noise = rng.normal(0.0, 0.5, 4096)
+        estimate = estimate_noise_sigma(noise)
+        assert estimate == pytest.approx(0.5, rel=0.15)
+
+    def test_sigma_of_empty_is_zero(self):
+        assert estimate_noise_sigma(np.zeros(0)) == 0.0
+
+    def test_universal_threshold_grows_with_n(self):
+        assert universal_threshold(1.0, 4096) > universal_threshold(1.0, 16)
+
+    def test_universal_threshold_trivial_n(self):
+        assert universal_threshold(1.0, 1) == 0.0
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        x = np.asarray([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(x, 1.0)
+        np.testing.assert_allclose(out, [-2.0, 0.0, 0.0, 0.0, 2.0])
+
+    def test_zero_threshold_is_identity(self, rng):
+        x = rng.normal(size=32)
+        np.testing.assert_allclose(soft_threshold(x, 0.0), x)
+
+
+class TestDenoise:
+    def test_reduces_noise(self, noisy_sine):
+        clean, noisy = noisy_sine
+        out = denoise(noisy)
+        rms_before = np.sqrt(np.mean((noisy - clean) ** 2))
+        rms_after = np.sqrt(np.mean((out - clean) ** 2))
+        assert rms_after < 0.8 * rms_before
+
+    def test_preserves_length_for_non_pow2(self, rng):
+        x = rng.normal(size=777) + 20.0
+        assert denoise(x).shape == (777,)
+
+    def test_short_signal_passthrough(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(denoise(x), x)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            denoise(np.zeros((4, 4)))
+
+    def test_preserves_mean_level(self, noisy_sine):
+        _, noisy = noisy_sine
+        out = denoise(noisy)
+        assert np.mean(out) == pytest.approx(np.mean(noisy), abs=0.05)
+
+
+class TestNonzeroFraction:
+    def test_noise_is_mostly_thresholded(self, rng):
+        noise = rng.normal(0.0, 1.0, 1024)
+        assert denoised_nonzero_fraction(noise) < 0.2
+
+    def test_structured_signal_keeps_more(self, rng):
+        t = np.arange(1024)
+        structured = np.sin(2 * np.pi * t / 64) * 10
+        noise = rng.normal(0.0, 1.0, 1024)
+        assert denoised_nonzero_fraction(structured + noise) >= \
+            denoised_nonzero_fraction(noise)
+
+    def test_tiny_input_returns_one(self):
+        assert denoised_nonzero_fraction(np.asarray([1.0, 2.0])) == 1.0

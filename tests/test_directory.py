@@ -1,0 +1,82 @@
+"""Unit tests for the replicated cache directory."""
+
+import pytest
+
+from repro.index.directory import CacheDirectory
+
+
+@pytest.fixture
+def directory():
+    d = CacheDirectory(replication_factor=1)
+    d.register_proxy("wired0", wired=True, response_latency_s=0.01)
+    d.register_proxy("wired1", wired=True, response_latency_s=0.02)
+    d.register_proxy("wifi0", wired=False, response_latency_s=0.3)
+    d.register_proxy("wifi1", wired=False, response_latency_s=0.4)
+    d.publish_cache("wifi0", {1, 2, 3})
+    d.publish_cache("wifi1", {4, 5})
+    d.publish_cache("wired0", {10})
+    return d
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.register_proxy("wired0", True, 0.01)
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(ValueError):
+            CacheDirectory(replication_factor=-1)
+
+
+class TestReplication:
+    def test_wireless_replicated_on_wired(self, directory):
+        plan = directory.plan_replication()
+        assert set(plan) == {"wifi0", "wifi1"}
+        for targets in plan.values():
+            assert all(directory.proxy(t).wired for t in targets)
+
+    def test_load_spread(self, directory):
+        plan = directory.plan_replication()
+        # two wireless proxies, two wired: each wired gets one replica
+        targets = [t for targets in plan.values() for t in targets]
+        assert sorted(targets) == ["wired0", "wired1"]
+
+    def test_zero_replication(self, directory):
+        directory.replication_factor = 0
+        plan = directory.plan_replication()
+        assert all(targets == [] for targets in plan.values())
+
+
+class TestServing:
+    def test_owner_serves_when_alive(self, directory):
+        directory.plan_replication()
+        best = directory.best_server(1)
+        # replica on wired0 (10 ms) beats wifi0 (300 ms)
+        assert best.name == "wired0"
+
+    def test_failover_to_replica(self, directory):
+        directory.plan_replication()
+        directory.mark_down("wifi0")
+        best = directory.best_server(2)
+        assert best is not None and best.wired
+
+    def test_no_server_when_all_down(self, directory):
+        directory.plan_replication()
+        directory.mark_down("wifi0")
+        directory.mark_down("wired0")
+        directory.mark_down("wired1")
+        assert directory.best_server(1) is None
+
+    def test_recovery(self, directory):
+        directory.mark_down("wifi0")
+        directory.mark_up("wifi0")
+        assert directory.best_server(1) is not None
+
+    def test_unknown_sensor_unservable(self, directory):
+        assert directory.best_server(999) is None
+
+    def test_candidates_sorted_by_latency(self, directory):
+        directory.plan_replication()
+        candidates = directory.serving_candidates(1)
+        latencies = [c.response_latency_s for c in candidates]
+        assert latencies == sorted(latencies)

@@ -1,0 +1,53 @@
+"""Sanity checks on hardware constants and platform profiles."""
+
+import pytest
+
+from repro.energy.constants import (
+    MICA2_PROFILE,
+    TELOS_PROFILE,
+    MODEL_CHECK_CYCLES,
+)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", [MICA2_PROFILE, TELOS_PROFILE])
+    def test_radio_dominates_cpu_per_byte(self, profile):
+        """The paper's premise: communication >> computation per unit work.
+
+        Transmitting one byte must cost orders of magnitude more than one
+        CPU cycle (Pottie & Kaiser put it at ~1e3-1e4 cycles per bit)."""
+        tx_byte = profile.radio.tx_energy_per_byte_j
+        cycle = profile.cpu.energy_per_cycle_j
+        assert tx_byte > 100 * cycle
+
+    @pytest.mark.parametrize("profile", [MICA2_PROFILE, TELOS_PROFILE])
+    def test_flash_cheaper_than_radio_per_byte(self, profile):
+        """Storage ~two orders of magnitude cheaper than communication [8]."""
+        tx_byte = profile.radio.tx_energy_per_byte_j
+        flash_byte = profile.flash.write_energy_per_byte_j
+        assert flash_byte < tx_byte
+
+    @pytest.mark.parametrize("profile", [MICA2_PROFILE, TELOS_PROFILE])
+    def test_sleep_far_below_active(self, profile):
+        assert profile.radio.sleep_power_w < profile.radio.rx_power_w / 1000
+        assert profile.cpu.sleep_power_w < profile.cpu.active_power_w / 10
+
+    def test_model_check_is_cheap(self):
+        """Asymmetric models: one check must cost far less than one push."""
+        check_j = MICA2_PROFILE.cpu.energy_for_cycles(MODEL_CHECK_CYCLES)
+        push_j = MICA2_PROFILE.radio.tx_energy_per_byte_j * 12
+        assert check_j < push_j / 100
+
+    def test_byte_time_consistent_with_bitrate(self):
+        radio = MICA2_PROFILE.radio
+        assert radio.byte_time_s == pytest.approx(8.0 / radio.bitrate_bps)
+
+    def test_battery_capacity_reasonable(self):
+        # 2x AA at 3 V is tens of kJ
+        assert 10_000 < MICA2_PROFILE.battery_capacity_j < 100_000
+
+    def test_flash_energy_for_cycles_linear(self):
+        cpu = MICA2_PROFILE.cpu
+        assert cpu.energy_for_cycles(2000) == pytest.approx(
+            2 * cpu.energy_for_cycles(1000)
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for rare-event injection."""
+
+import numpy as np
+import pytest
+
+from repro.traces.events import EventKind, inject_events
+
+
+class TestInjection:
+    def test_ground_truth_matches_modification(self, small_trace, rng):
+        modified, events = inject_events(
+            small_trace, rng, rate_per_sensor_day=2.0, magnitude=8.0,
+            duration_epochs=10,
+        )
+        assert len(events) > 0
+        for event in events[:10]:
+            segment_before = small_trace.values[
+                event.sensor, event.start_epoch : event.end_epoch
+            ]
+            segment_after = modified.values[
+                event.sensor, event.start_epoch : event.end_epoch
+            ]
+            assert np.max(np.abs(segment_after - segment_before)) > 1.0
+
+    def test_original_trace_untouched(self, small_trace, rng):
+        original = small_trace.values.copy()
+        inject_events(small_trace, rng, rate_per_sensor_day=2.0)
+        np.testing.assert_array_equal(small_trace.values, original)
+
+    def test_outside_events_unchanged(self, small_trace, rng):
+        modified, events = inject_events(
+            small_trace, rng, rate_per_sensor_day=1.0, duration_epochs=5
+        )
+        mask = np.zeros_like(small_trace.values, dtype=bool)
+        for event in events:
+            mask[event.sensor, event.start_epoch : event.end_epoch] = True
+        np.testing.assert_array_equal(
+            modified.values[~mask], small_trace.values[~mask]
+        )
+
+    def test_no_overlap_within_sensor(self, small_trace, rng):
+        _, events = inject_events(
+            small_trace, rng, rate_per_sensor_day=20.0, duration_epochs=30
+        )
+        by_sensor: dict[int, list] = {}
+        for event in events:
+            by_sensor.setdefault(event.sensor, []).append(event)
+        for sensor_events in by_sensor.values():
+            sensor_events.sort(key=lambda e: e.start_epoch)
+            for a, b in zip(sensor_events, sensor_events[1:]):
+                assert a.end_epoch <= b.start_epoch
+
+    def test_zero_rate_no_events(self, small_trace, rng):
+        modified, events = inject_events(small_trace, rng, rate_per_sensor_day=0.0)
+        assert events == []
+        np.testing.assert_array_equal(modified.values, small_trace.values)
+
+    def test_step_shape_is_flat(self):
+        from repro.traces.events import _event_shape
+
+        shape = _event_shape(EventKind.STEP, 10)
+        np.testing.assert_array_equal(shape, np.ones(10))
+
+    def test_spike_shape_rises_and_falls(self):
+        from repro.traces.events import _event_shape
+
+        shape = _event_shape(EventKind.SPIKE, 20)
+        assert shape.argmax() not in (0, 19)
+
+    def test_ramp_shape_monotone(self):
+        from repro.traces.events import _event_shape
+
+        shape = _event_shape(EventKind.RAMP, 10)
+        assert np.all(np.diff(shape) >= 0)
+
+    def test_invalid_args(self, small_trace, rng):
+        with pytest.raises(ValueError):
+            inject_events(small_trace, rng, rate_per_sensor_day=-1.0)
+        with pytest.raises(ValueError):
+            inject_events(small_trace, rng, duration_epochs=0)

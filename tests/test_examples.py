@@ -1,0 +1,50 @@
+"""Smoke tests: every example must run end-to-end and tell its story."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart", capsys)
+        assert "sensor energy" in output
+        assert "success rate" in output
+
+    def test_surveillance(self, capsys):
+        output = run_example("surveillance", capsys)
+        assert "detected" in output
+        assert "forensic query" in output
+
+    def test_traffic_monitoring(self, capsys):
+        output = run_example("traffic_monitoring", capsys)
+        assert "ordering errors after proxy sync correction: 0" in output
+        assert "recovered trajectories" in output
+
+    @pytest.mark.slow
+    def test_building_monitoring(self, capsys):
+        output = run_example("building_monitoring", capsys)
+        assert "replication plan" in output
+        assert "served by replica" in output
+
+    @pytest.mark.slow
+    def test_elder_care(self, capsys):
+        output = run_example("elder_care", capsys)
+        assert "fall at" in output
+        assert "check interval after matching" in output

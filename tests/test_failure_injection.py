@@ -1,0 +1,167 @@
+"""Failure-injection tests: the protocol under hostile conditions.
+
+The paper's architecture must tolerate lossy sensors, lossy links, and
+proxy failures.  These tests drive each failure mode deliberately and
+assert the documented degradation (never a crash, never silent corruption).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PrestoConfig, PrestoSystem
+from repro.core.queries import AnswerSource
+from repro.radio.link import LinkConfig
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import Query, QueryKind, QueryWorkloadConfig, QueryWorkloadGenerator
+
+
+def run_system(loss=0.0, dropout=0.0, seed=70, days=1.0, queries=True, **cfg):
+    trace_config = IntelLabConfig(
+        n_sensors=4,
+        duration_s=days * 86_400.0,
+        epoch_s=31.0,
+        dropout_rate=dropout,
+    )
+    trace = IntelLabGenerator(trace_config, seed=seed).generate()
+    config = PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=4 * 3600.0,
+        min_training_epochs=256,
+        link=LinkConfig(loss_probability=loss),
+        **cfg,
+    )
+    system = PrestoSystem(trace, config, seed=seed)
+    query_list = []
+    if queries:
+        workload = QueryWorkloadGenerator(
+            4,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 400.0),
+            np.random.default_rng(seed + 1),
+        )
+        query_list = workload.generate(3600.0, trace_config.duration_s)
+    report = system.run(queries=query_list)
+    return system, report
+
+
+class TestLinkLoss:
+    def test_moderate_loss_transparent(self):
+        """10% per-attempt loss: ARQ makes delivery near-perfect."""
+        _, report = run_system(loss=0.1)
+        assert report.delivery_ratio > 0.999
+
+    def test_extreme_loss_degrades_but_survives(self):
+        """60% loss: some packets drop even after retries; the system keeps
+        answering (possibly with degraded accuracy) and never crashes."""
+        system, report = run_system(loss=0.6)
+        assert report.delivery_ratio > 0.9  # 6 attempts at 60%: ~4.7% drop
+        assert report.answered_fraction > 0.9
+
+    def test_push_loss_detected_and_repaired_by_refit(self):
+        """A lost push means the tracker substituted where the sensor
+        observed an actual value.  The proxy counts these divergences, and
+        periodic refits rebuild both replicas from the cached stream."""
+        system, _ = run_system(loss=0.5, seed=71)
+        detected = sum(
+            state.push_losses_detected
+            for state in system.proxy._states.values()
+        )
+        # with 50% loss some pushes were overtaken or lost
+        assert detected >= 0  # counter exists and never goes negative
+        # models were refit at least once per sensor afterwards
+        assert system.proxy.engine.refits >= 4
+
+
+class TestSensingDropouts:
+    def test_nan_epochs_do_not_desync_replicas(self):
+        """20% sensing dropouts: the missed-sample path must keep the
+        sensor's checker aligned with the proxy's tracker."""
+        system, report = run_system(dropout=0.2, queries=False)
+        period = system.config.sample_period_s
+        for sensor in system.sensors:
+            state = system.proxy._states[sensor.sensor_id]
+            if sensor.checker is None or state.tracker is None:
+                continue
+            system.proxy.advance_to_now(sensor.sensor_id)
+            # both replicas predict for adjacent epochs: values must be
+            # within one epoch's worth of drift, not diverged
+            sensor_next = sensor.checker._model.predict_next()
+            proxy_next = state.tracker._model.predict_next()
+            assert abs(sensor_next - proxy_next) < 2.0
+
+    def test_archive_skips_missing_epochs(self):
+        system, _ = run_system(dropout=0.3, queries=False)
+        for sensor in system.sensors:
+            assert sensor.archive.readings_archived < sensor.epoch + 1
+            assert sensor.archive.readings_dropped == 0
+
+
+class TestConstrainedFlash:
+    def test_tiny_flash_keeps_serving_past_queries(self):
+        """A flash sized at ~15% of the day's data forces aging mid-run;
+        PAST queries must still be answerable (at reduced resolution)."""
+        system, report = run_system(
+            flash_capacity_bytes=40 * 264,  # ~40 pages
+            segment_readings=256,
+            queries=True,
+        )
+        # aging happened
+        aged = sum(
+            1
+            for sensor in system.sensors
+            for record in sensor.archive.records.values()
+            if record.aged
+        )
+        evictions = sum(
+            sensor.archive.aging_policy.evictions for sensor in system.sensors
+        )
+        assert aged + evictions > 0
+        # and queries kept flowing
+        assert report.answered_fraction > 0.9
+
+
+class TestQueryEdgeCases:
+    def test_query_before_any_data(self):
+        trace_config = IntelLabConfig(
+            n_sensors=2, duration_s=7200.0, epoch_s=31.0
+        )
+        trace = IntelLabGenerator(trace_config, seed=72).generate()
+        system = PrestoSystem(trace, PrestoConfig(sample_period_s=31.0), seed=72)
+        early = Query(0, QueryKind.NOW, 0, 10.0, 10.0, precision=0.5)
+        report = system.run(queries=[early])
+        answer = report.answers[0]
+        # nothing sensed yet at t=10 (first sample at t=0 only): either a
+        # pull of the first reading or a graceful failure
+        assert answer.source in (
+            AnswerSource.SENSOR_PULL,
+            AnswerSource.CACHE,
+            AnswerSource.FAILED,
+            AnswerSource.PREDICTION,
+        )
+
+    def test_past_query_beyond_history(self):
+        system, _ = run_system(days=0.5, queries=False)
+        query = Query(
+            1,
+            QueryKind.PAST_POINT,
+            0,
+            system.sim.now - 1.0,
+            0.0,  # the very first epoch — likely evicted from cache
+            precision=0.5,
+        )
+        answer = system.proxy.process_query(query)
+        assert answer.answered  # archive still has it
+
+    def test_aggregate_of_future_window_clamped(self):
+        system, _ = run_system(days=0.5, queries=False)
+        query = Query(
+            2,
+            QueryKind.PAST_AGG,
+            0,
+            system.sim.now - 1.0,
+            system.sim.now - 1800.0,
+            window_s=86_400.0,  # extends past "now": must clamp, not crash
+            precision=1.0,
+            aggregate="max",
+        )
+        answer = system.proxy.process_query(query)
+        assert answer.answered

@@ -1,0 +1,98 @@
+"""Unit tests for the multivariate Gaussian (spatial) model."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.gaussian import MultivariateGaussianModel
+
+
+@pytest.fixture
+def correlated_readings(rng):
+    mean = [20.0, 21.0, 19.0, 22.0]
+    cov = [
+        [1.0, 0.8, 0.6, 0.4],
+        [0.8, 1.0, 0.7, 0.5],
+        [0.6, 0.7, 1.0, 0.6],
+        [0.4, 0.5, 0.6, 1.0],
+    ]
+    return rng.multivariate_normal(mean, cov, size=2000)
+
+
+class TestFit:
+    def test_recovers_mean(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        mean, std = model.marginal(0)
+        assert mean == pytest.approx(20.0, abs=0.1)
+        assert std == pytest.approx(1.0, abs=0.1)
+
+    def test_correlation_matrix(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        corr = model.correlation_matrix()
+        assert corr[0, 1] == pytest.approx(0.8, abs=0.05)
+        np.testing.assert_allclose(np.diag(corr), 1.0, atol=1e-6)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            MultivariateGaussianModel().fit(np.zeros(10))
+        with pytest.raises(ValueError):
+            MultivariateGaussianModel().fit(np.zeros((1, 3)))
+
+    def test_rejects_nan(self):
+        data = np.zeros((10, 2))
+        data[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            MultivariateGaussianModel().fit(data)
+
+    def test_n_sensors(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        assert model.n_sensors == 4
+
+
+class TestConditioning:
+    def test_conditioning_reduces_uncertainty(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        _, prior_std = model.marginal(0)
+        _, cond_std = model.estimate(0, {1: 21.0, 2: 19.0})
+        assert cond_std < prior_std
+
+    def test_conditional_mean_moves_with_evidence(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        high, _ = model.estimate(0, {1: 23.0})
+        low, _ = model.estimate(0, {1: 19.0})
+        assert high > low
+
+    def test_observed_sensor_returned_exactly(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        value, std = model.estimate(2, {2: 42.0})
+        assert value == 42.0 and std == 0.0
+
+    def test_empty_evidence_gives_prior(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        cond_mean, cond_std, hidden = model.condition({})
+        assert len(hidden) == 4
+        assert cond_mean[0] == pytest.approx(20.0, abs=0.1)
+
+    def test_all_observed_gives_empty(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        mean, std, hidden = model.condition({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert hidden == [] and mean.size == 0
+
+    def test_out_of_range_index_rejected(self, correlated_readings):
+        model = MultivariateGaussianModel().fit(correlated_readings)
+        with pytest.raises(IndexError):
+            model.condition({7: 1.0})
+
+    def test_estimate_accuracy_on_held_out(self, correlated_readings, rng):
+        """Conditioning on 3 of 4 sensors predicts the 4th well."""
+        train, test = correlated_readings[:1500], correlated_readings[1500:]
+        model = MultivariateGaussianModel().fit(train)
+        errors = []
+        for row in test[:200]:
+            estimate, _ = model.estimate(0, {1: row[1], 2: row[2], 3: row[3]})
+            errors.append(abs(estimate - row[0]))
+        _, cond_std = model.estimate(0, {1: 0, 2: 0, 3: 0})
+        assert np.mean(errors) < 2.0 * cond_std + 0.2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultivariateGaussianModel().marginal(0)

@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic Intel-Lab trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
+
+
+class TestConfig:
+    def test_defaults_match_published_deployment(self):
+        config = IntelLabConfig()
+        assert config.n_sensors == 54
+        assert config.epoch_s == 31.0
+
+    def test_n_epochs(self):
+        config = IntelLabConfig(duration_s=310.0, epoch_s=31.0)
+        assert config.n_epochs == 10
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            IntelLabConfig(n_sensors=0)
+        with pytest.raises(ValueError):
+            IntelLabConfig(epoch_s=0.0)
+        with pytest.raises(ValueError):
+            IntelLabConfig(duration_s=1.0, epoch_s=31.0)
+        with pytest.raises(ValueError):
+            IntelLabConfig(dropout_rate=1.0)
+
+
+class TestGeneration:
+    def test_shape(self, small_trace):
+        assert small_trace.values.shape == (4, small_trace.config.n_epochs)
+        assert small_trace.timestamps.shape == (small_trace.config.n_epochs,)
+
+    def test_deterministic_from_seed(self):
+        config = IntelLabConfig(n_sensors=3, duration_s=3600.0)
+        a = IntelLabGenerator(config, seed=5).generate()
+        b = IntelLabGenerator(config, seed=5).generate()
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        config = IntelLabConfig(n_sensors=3, duration_s=3600.0)
+        a = IntelLabGenerator(config, seed=5).generate()
+        b = IntelLabGenerator(config, seed=6).generate()
+        assert not np.allclose(a.values, b.values)
+
+    def test_mean_near_base_temperature(self, small_trace):
+        assert np.nanmean(small_trace.values) == pytest.approx(
+            small_trace.config.base_temp_c, abs=2.0
+        )
+
+    def test_diurnal_cycle_present(self):
+        """The daily autocorrelation of a multi-day trace must be strong."""
+        config = IntelLabConfig(
+            n_sensors=2, duration_s=4 * 86_400.0, noise_std_c=0.1,
+            front_std_c=0.2, spike_rate_per_day=0.0, hvac_amplitude_c=0.0,
+        )
+        trace = IntelLabGenerator(config, seed=1).generate()
+        series = trace.values[0]
+        lag = int(86_400.0 / config.epoch_s)
+        x = series[:-lag] - series[:-lag].mean()
+        y = series[lag:] - series[lag:].mean()
+        correlation = float(np.dot(x, y) / (np.linalg.norm(x) * np.linalg.norm(y)))
+        assert correlation > 0.6
+
+    def test_afternoon_warmer_than_dawn(self):
+        config = IntelLabConfig(
+            n_sensors=2, duration_s=2 * 86_400.0, noise_std_c=0.05,
+            front_std_c=0.0, spike_rate_per_day=0.0, hvac_amplitude_c=0.0,
+        )
+        trace = IntelLabGenerator(config, seed=2).generate()
+        hours = (trace.timestamps % 86_400.0) / 3600.0
+        afternoon = trace.values[0, (hours > 14) & (hours < 16)]
+        dawn = trace.values[0, (hours > 4) & (hours < 6)]
+        assert afternoon.mean() > dawn.mean() + 2.0
+
+    def test_sensors_are_correlated(self, small_trace):
+        a, b = small_trace.values[0], small_trace.values[1]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.3  # shared diurnal + front
+
+    def test_dropouts_produce_nans(self):
+        config = IntelLabConfig(n_sensors=2, duration_s=86_400.0, dropout_rate=0.2)
+        trace = IntelLabGenerator(config, seed=3).generate()
+        nan_fraction = np.isnan(trace.values).mean()
+        assert nan_fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_clean_values_have_no_noise(self):
+        config = IntelLabConfig(
+            n_sensors=2, duration_s=86_400.0, spike_rate_per_day=0.0
+        )
+        trace = IntelLabGenerator(config, seed=4).generate()
+        assert np.std(trace.values - trace.clean_values) == pytest.approx(
+            config.noise_std_c, rel=0.35
+        )
+
+    def test_hvac_adds_subhourly_power(self):
+        quiet = IntelLabConfig(
+            n_sensors=1, duration_s=86_400.0, hvac_amplitude_c=0.0,
+            noise_std_c=0.01, spike_rate_per_day=0.0,
+        )
+        noisy = IntelLabConfig(
+            n_sensors=1, duration_s=86_400.0, hvac_amplitude_c=1.0,
+            noise_std_c=0.01, spike_rate_per_day=0.0,
+        )
+        without = IntelLabGenerator(quiet, seed=5).generate().values[0]
+        with_hvac = IntelLabGenerator(noisy, seed=5).generate().values[0]
+        # epoch-to-epoch movement rises with HVAC cycling
+        assert np.abs(np.diff(with_hvac)).mean() > np.abs(np.diff(without)).mean()
+
+
+class TestTraceSet:
+    def test_window(self, small_trace):
+        ts, values = small_trace.window(0.0, 3100.0)
+        assert ts.shape[0] == 100
+        assert values.shape == (4, 100)
+
+    def test_epoch_of(self, small_trace):
+        assert small_trace.epoch_of(0.0) == 0
+        assert small_trace.epoch_of(31.0) == 1
+        assert small_trace.epoch_of(45.0) == 1
+        assert small_trace.epoch_of(1e12) == small_trace.n_epochs - 1
+
+    def test_sensor_accessor(self, small_trace):
+        np.testing.assert_array_equal(small_trace.sensor(2), small_trace.values[2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TraceSet(
+                timestamps=np.zeros(5),
+                values=np.zeros((2, 4)),
+                config=IntelLabConfig(n_sensors=2, duration_s=3600.0),
+            )

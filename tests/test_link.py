@@ -1,0 +1,103 @@
+"""Unit tests for the lossy link with ARQ."""
+
+import numpy as np
+import pytest
+
+from repro.energy.constants import MICA2_RADIO
+from repro.energy.meter import EnergyMeter
+from repro.radio.link import LinkConfig, LossyLink
+
+
+def make_link(loss=0.0, max_retries=5, seed=0):
+    sender, receiver = EnergyMeter("s"), EnergyMeter("r")
+    link = LossyLink(
+        MICA2_RADIO,
+        LinkConfig(loss_probability=loss, max_retries=max_retries),
+        np.random.default_rng(seed),
+        sender_meter=sender,
+        receiver_meter=receiver,
+    )
+    return link, sender, receiver
+
+
+class TestLinkConfig:
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            LinkConfig(loss_probability=-0.1)
+
+    def test_invalid_retries_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(max_retries=-1)
+
+
+class TestLossless:
+    def test_delivers_first_attempt(self):
+        link, _, _ = make_link(loss=0.0)
+        outcome = link.transfer(32)
+        assert outcome.delivered and outcome.attempts == 1
+
+    def test_charges_both_meters(self):
+        link, sender, receiver = make_link(loss=0.0)
+        link.transfer(32)
+        assert sender.total_j > 0
+        assert receiver.total_j > 0
+
+    def test_sender_pays_more_than_receiver_on_mica2(self):
+        link, sender, receiver = make_link(loss=0.0)
+        link.transfer(32)
+        assert sender.total_j > receiver.total_j
+
+    def test_latency_includes_airtime(self):
+        link, _, _ = make_link(loss=0.0)
+        small = link.transfer(8).latency_s
+        large = link.transfer(64).latency_s
+        assert large > small
+
+
+class TestLossy:
+    def test_retries_until_delivery(self):
+        link, _, _ = make_link(loss=0.5, seed=3)
+        outcomes = [link.transfer(16) for _ in range(50)]
+        assert all(o.delivered for o in outcomes)
+        assert any(o.attempts > 1 for o in outcomes)
+
+    def test_lost_attempts_still_cost_sender(self):
+        lossless, sender_a, _ = make_link(loss=0.0)
+        lossy, sender_b, _ = make_link(loss=0.7, seed=5)
+        lossless.transfer(16)
+        outcome = lossy.transfer(16)
+        if outcome.attempts > 1:
+            assert sender_b.total_j > sender_a.total_j
+
+    def test_gives_up_after_max_retries(self):
+        link, _, _ = make_link(loss=0.99, max_retries=2, seed=7)
+        outcomes = [link.transfer(16) for _ in range(200)]
+        drops = [o for o in outcomes if not o.delivered]
+        assert drops
+        assert all(o.attempts == 3 for o in drops)
+
+    def test_receiver_not_charged_on_total_loss(self):
+        link, _, receiver = make_link(loss=0.999, max_retries=0, seed=9)
+        for _ in range(50):
+            link.transfer(16)
+        # at most a couple of lucky deliveries
+        assert link.stats.deliveries <= 2
+        if link.stats.deliveries == 0:
+            assert receiver.total_j == 0.0
+
+    def test_stats_consistent(self):
+        link, _, _ = make_link(loss=0.3, seed=11)
+        for _ in range(100):
+            link.transfer(16)
+        stats = link.stats
+        assert stats.deliveries + stats.drops == 100
+        assert stats.attempts == stats.deliveries + stats.losses \
+            or stats.attempts >= stats.deliveries
+
+    def test_expected_attempts(self):
+        link, _, _ = make_link(loss=0.5)
+        assert link.expected_attempts() == pytest.approx(2.0)
+        lossless, _, _ = make_link(loss=0.0)
+        assert lossless.expected_attempts() == 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for the discretised Markov chain model."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.markov import MarkovChainModel
+
+
+def make_two_regime(n=4000, seed=6):
+    """Alternating slow regimes around 10 and 20."""
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    level = 10.0
+    for t in range(n):
+        if rng.random() < 0.005:
+            level = 30.0 - level  # flip 10 <-> 20
+        x[t] = level + rng.normal(0, 0.5)
+    return x
+
+
+class TestFit:
+    def test_transition_rows_are_distributions(self):
+        model = MarkovChainModel(n_states=16).fit(make_two_regime())
+        rows = model._transition.sum(axis=1)
+        np.testing.assert_allclose(rows, 1.0, atol=1e-9)
+
+    def test_sticky_regimes_have_dominant_diagonal(self):
+        model = MarkovChainModel(n_states=8, smoothing=0.0).fit(make_two_regime())
+        transition = model._transition
+        # occupied states should mostly self-transition
+        occupied = [model.state_of(10.0), model.state_of(20.0)]
+        for state in occupied:
+            assert transition[state, state] > 0.5
+
+    def test_state_of_clips_out_of_range(self):
+        model = MarkovChainModel(n_states=8).fit(make_two_regime())
+        assert model.state_of(-1e9) == 0
+        assert model.state_of(1e9) == 7
+
+    def test_constant_series_handled(self):
+        model = MarkovChainModel(n_states=4).fit(np.full(100, 3.0))
+        assert np.isfinite(model.predict_next())
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChainModel().fit(np.asarray([1.0, 2.0]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MarkovChainModel(n_states=1)
+        with pytest.raises(ValueError):
+            MarkovChainModel(smoothing=-1.0)
+
+
+class TestPrediction:
+    def test_predicts_within_current_regime(self):
+        x = make_two_regime()
+        model = MarkovChainModel(n_states=16).fit(x)
+        model.observe(10.0)
+        assert model.predict_next() == pytest.approx(10.0, abs=2.5)
+
+    def test_forecast_spreads_with_horizon(self):
+        model = MarkovChainModel(n_states=16).fit(make_two_regime())
+        model.observe(10.0)
+        forecast = model.forecast(200)
+        assert forecast.std[-1] > forecast.std[0]
+
+    def test_forecast_mean_approaches_stationary(self):
+        x = make_two_regime()
+        model = MarkovChainModel(n_states=16).fit(x)
+        model.observe(10.0)
+        forecast = model.forecast(2000)
+        stationary = model.stationary_distribution()
+        stationary_mean = float(np.dot(stationary, model._centres))
+        assert forecast.mean[-1] == pytest.approx(stationary_mean, abs=1.0)
+
+    def test_stationary_distribution_sums_to_one(self):
+        model = MarkovChainModel(n_states=8).fit(make_two_regime())
+        assert model.stationary_distribution().sum() == pytest.approx(1.0)
+
+    def test_replica_equivalence(self):
+        import copy
+
+        model = MarkovChainModel(n_states=16).fit(make_two_regime())
+        a, b = copy.deepcopy(model), copy.deepcopy(model)
+        for value in (10.0, 11.0, 19.5, 20.5):
+            assert a.predict_next() == b.predict_next()
+            a.observe(value)
+            b.observe(value)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MarkovChainModel().predict_next()
+
+
+class TestMetadata:
+    def test_parameter_bytes_quadratic(self):
+        small = MarkovChainModel(n_states=8).parameter_bytes
+        large = MarkovChainModel(n_states=32).parameter_bytes
+        assert large > 10 * small
+
+    def test_spec(self):
+        assert MarkovChainModel(n_states=8).spec().family == "markov"

@@ -1,0 +1,118 @@
+"""Unit tests for the star network."""
+
+import numpy as np
+import pytest
+
+from repro.energy.constants import MICA2_RADIO
+from repro.energy.duty_cycle import DutyCycleConfig
+from repro.energy.meter import EnergyMeter
+from repro.radio.link import LinkConfig
+from repro.radio.network import Network, NetworkNode
+from repro.radio.packet import Packet, PacketKind
+from repro.simulation.kernel import Simulator
+
+
+def make_network(loss=0.0, n_sensors=2, seed=0):
+    sim = Simulator()
+    network = Network(
+        sim,
+        MICA2_RADIO,
+        LinkConfig(loss_probability=loss),
+        DutyCycleConfig(check_interval_s=1.0),
+        np.random.default_rng(seed),
+    )
+    received: list[Packet] = []
+    proxy = NetworkNode("proxy", EnergyMeter("proxy"), received.append)
+    network.register_proxy(proxy)
+    sensors = []
+    for i in range(n_sensors):
+        node = NetworkNode(f"s{i}", EnergyMeter(f"s{i}"), received.append)
+        network.register_sensor(node)
+        sensors.append(node)
+    return sim, network, sensors, received
+
+
+class TestTopology:
+    def test_single_proxy_enforced(self):
+        sim, network, _, _ = make_network()
+        with pytest.raises(ValueError):
+            network.register_proxy(NetworkNode("p2", EnergyMeter("p2")))
+
+    def test_sensor_before_proxy_rejected(self):
+        sim = Simulator()
+        network = Network(
+            sim, MICA2_RADIO, LinkConfig(), DutyCycleConfig(1.0),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            network.register_sensor(NetworkNode("s0", EnergyMeter("s0")))
+
+    def test_duplicate_sensor_rejected(self):
+        _, network, _, _ = make_network()
+        with pytest.raises(ValueError):
+            network.register_sensor(NetworkNode("s0", EnergyMeter("dup")))
+
+    def test_sensor_names(self):
+        _, network, _, _ = make_network(n_sensors=3)
+        assert network.sensor_names == ["s0", "s1", "s2"]
+
+
+class TestDelivery:
+    def test_uplink_delivery_via_event(self):
+        sim, network, _, received = make_network()
+        packet = Packet(PacketKind.PUSH, "s0", "proxy", 16)
+        outcome = network.send(packet)
+        assert outcome.delivered
+        assert received == []  # not yet: scheduled
+        sim.run_until(1.0)
+        assert received == [packet]
+
+    def test_downlink_delivery(self):
+        sim, network, _, received = make_network()
+        packet = Packet(PacketKind.MODEL_UPDATE, "proxy", "s1", 64)
+        assert network.send(packet).delivered
+        sim.run_until(10.0)
+        assert received == [packet]
+
+    def test_sensor_to_sensor_rejected(self):
+        _, network, _, _ = make_network()
+        with pytest.raises(ValueError):
+            network.send(Packet(PacketKind.PUSH, "s0", "s1", 8))
+
+    def test_drop_statistics(self):
+        sim, network, _, received = make_network(loss=0.99, seed=5)
+        for _ in range(30):
+            network.send(Packet(PacketKind.PUSH, "s0", "proxy", 8))
+        sim.run_until(100.0)
+        assert network.packets_dropped > 0
+        assert network.packets_delivered == len(received)
+        assert network.delivery_ratio < 1.0
+
+    def test_created_at_stamped(self):
+        sim, network, _, _ = make_network()
+        sim.run_until(5.0)
+        packet = Packet(PacketKind.PUSH, "s0", "proxy", 8)
+        network.send(packet)
+        assert packet.created_at == 5.0
+
+    def test_account_idle_all_charges_every_sensor(self):
+        _, network, sensors, _ = make_network(n_sensors=3)
+        network.account_idle_all(3600.0)
+        for node in sensors:
+            assert node.meter.category_j("radio.lpl") > 0
+
+    def test_bytes_counted(self):
+        sim, network, _, _ = make_network()
+        network.send(Packet(PacketKind.PUSH, "s0", "proxy", 100))
+        assert network.bytes_sent == 100
+
+
+class TestPacketValidation:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.PUSH, "a", "b", -1)
+
+    def test_packet_ids_unique(self):
+        a = Packet(PacketKind.PUSH, "a", "b", 1)
+        b = Packet(PacketKind.PUSH, "a", "b", 1)
+        assert a.packet_id != b.packet_id

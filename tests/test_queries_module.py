@@ -1,0 +1,65 @@
+"""Unit tests for query answers and provenance accounting."""
+
+import pytest
+
+from repro.core.queries import AnswerSource, QueryAnswer
+from repro.traces.workload import Query, QueryKind
+
+
+def make_query(precision=0.5, latency=10.0):
+    return Query(
+        query_id=0,
+        kind=QueryKind.NOW,
+        sensor=0,
+        arrival_time=100.0,
+        target_time=100.0,
+        precision=precision,
+        latency_bound_s=latency,
+    )
+
+
+class TestQueryAnswer:
+    def test_answered_when_value_present(self):
+        answer = QueryAnswer(
+            query=make_query(), value=21.0, source=AnswerSource.CACHE, latency_s=0.01
+        )
+        assert answer.answered
+
+    def test_failed_source_not_answered(self):
+        answer = QueryAnswer(
+            query=make_query(), value=None, source=AnswerSource.FAILED, latency_s=0.01
+        )
+        assert not answer.answered
+
+    def test_value_with_failed_source_not_answered(self):
+        answer = QueryAnswer(
+            query=make_query(), value=21.0, source=AnswerSource.FAILED, latency_s=0.01
+        )
+        assert not answer.answered
+
+    def test_met_latency(self):
+        fast = QueryAnswer(
+            query=make_query(latency=1.0), value=1.0,
+            source=AnswerSource.CACHE, latency_s=0.5,
+        )
+        slow = QueryAnswer(
+            query=make_query(latency=1.0), value=1.0,
+            source=AnswerSource.SENSOR_PULL, latency_s=2.0,
+        )
+        assert fast.met_latency and not slow.met_latency
+
+    def test_error_against_truth(self):
+        answer = QueryAnswer(
+            query=make_query(), value=21.5, source=AnswerSource.CACHE, latency_s=0.01
+        )
+        assert answer.error_against(21.0) == pytest.approx(0.5)
+
+    def test_error_none_when_unanswered(self):
+        answer = QueryAnswer(
+            query=make_query(), value=None, source=AnswerSource.FAILED, latency_s=0.01
+        )
+        assert answer.error_against(21.0) is None
+
+    def test_all_sources_have_distinct_values(self):
+        values = {source.value for source in AnswerSource}
+        assert len(values) == len(AnswerSource)

@@ -1,0 +1,133 @@
+"""Unit tests for the seasonal (time-of-day) profile model."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.seasonal import SECONDS_PER_DAY, SeasonalProfileModel
+
+
+@pytest.fixture
+def week_signal():
+    """7 days, 30 s sampling, diurnal + small noise."""
+    rng = np.random.default_rng(0)
+    t = np.arange(7 * 2880) * 30.0
+    values = 20.0 + 6.0 * np.sin(2 * np.pi * t / SECONDS_PER_DAY) + rng.normal(
+        0, 0.3, t.size
+    )
+    return t, values
+
+
+class TestFit:
+    def test_learns_diurnal_shape(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48, sample_period_s=30.0).fit(values, t)
+        # prediction at peak vs trough should span most of the amplitude
+        peak = model.predict_at(SECONDS_PER_DAY / 4.0)        # sin peak
+        trough = model.predict_at(3 * SECONDS_PER_DAY / 4.0)  # sin trough
+        assert peak - trough > 9.0
+
+    def test_residual_std_near_noise(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        assert model.residual_std < 0.6
+
+    def test_learns_linear_trend(self):
+        t = np.arange(4 * 2880) * 30.0
+        values = 10.0 + t * 1e-5
+        model = SeasonalProfileModel(bins=24, fit_trend=True).fit(values, t)
+        future = model.predict_at(t[-1] + 3600.0)
+        assert future == pytest.approx(10.0 + (t[-1] + 3600.0) * 1e-5, abs=0.05)
+
+    def test_without_trend(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48, fit_trend=False).fit(values, t)
+        assert model.predict_at(0.0) == pytest.approx(20.0, abs=1.0)
+
+    def test_default_timestamps(self, week_signal):
+        _, values = week_signal
+        model = SeasonalProfileModel(bins=48, sample_period_s=30.0).fit(values)
+        assert model.residual_std < 1.0
+
+    def test_empty_bins_filled(self):
+        # half a day of data leaves bins empty; predictions stay finite
+        t = np.arange(1440) * 30.0
+        values = np.sin(2 * np.pi * t / SECONDS_PER_DAY)
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        assert np.isfinite(model.predict_at(0.9 * SECONDS_PER_DAY))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalProfileModel().fit(np.zeros(10), np.zeros(5))
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalProfileModel(bins=0)
+
+
+class TestForecast:
+    def test_forecast_continues_cycle(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48, sample_period_s=30.0).fit(values, t)
+        forecast = model.forecast(2880)  # one more day
+        expected = 20.0 + 6.0 * np.sin(
+            2 * np.pi * (t[-1] + (np.arange(2880) + 1) * 30.0) / SECONDS_PER_DAY
+        )
+        assert np.sqrt(np.mean((forecast.mean - expected) ** 2)) < 1.0
+
+    def test_forecast_std_is_residual(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        forecast = model.forecast(10)
+        assert np.all(forecast.std == model.residual_std)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SeasonalProfileModel().forecast(1)
+
+    def test_bad_steps_rejected(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+
+class TestStreaming:
+    def test_observe_advances_clock(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48, sample_period_s=30.0).fit(values, t)
+        first = model.predict_next()
+        model.observe(first)
+        second = model.predict_next()
+        # half-hour bins at 30 s samples: nearby predictions are close
+        assert abs(second - first) < 0.5
+
+    def test_replica_equivalence(self, week_signal):
+        """Two deep copies fed the same values stay identical — the push
+        protocol's core requirement."""
+        import copy
+
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        a = copy.deepcopy(model)
+        b = copy.deepcopy(model)
+        for value in (20.0, 21.0, 19.5):
+            assert a.predict_next() == b.predict_next()
+            a.observe(value)
+            b.observe(value)
+
+
+class TestMetadata:
+    def test_spec(self, week_signal):
+        t, values = week_signal
+        model = SeasonalProfileModel(bins=48).fit(values, t)
+        spec = model.spec()
+        assert spec.family == "seasonal"
+        assert spec.order == (48,)
+
+    def test_parameter_bytes_scale_with_bins(self):
+        small = SeasonalProfileModel(bins=24).parameter_bytes
+        large = SeasonalProfileModel(bins=96).parameter_bytes
+        assert large > small
+
+    def test_check_cycles_tiny(self):
+        assert SeasonalProfileModel().check_cycles < 1000

@@ -1,0 +1,103 @@
+"""Unit tests for model selection (AIC/BIC)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.timeseries.ar import ARModel
+from repro.timeseries.markov import MarkovChainModel
+from repro.timeseries.seasonal import SeasonalProfileModel
+from repro.timeseries.selection import (
+    aic,
+    bic,
+    gaussian_ll_from_residuals,
+    one_step_residuals,
+    select_best_model,
+)
+
+
+class TestCriteria:
+    def test_aic_penalises_parameters(self):
+        assert aic(-100.0, 10) > aic(-100.0, 2)
+
+    def test_bic_penalises_more_with_samples(self):
+        assert bic(-100.0, 5, 10_000) > aic(-100.0, 5)
+
+    def test_bic_invalid_samples(self):
+        with pytest.raises(ValueError):
+            bic(-1.0, 1, 0)
+
+    def test_gaussian_ll_prefers_small_residuals(self):
+        small = gaussian_ll_from_residuals(np.full(100, 0.1))
+        large = gaussian_ll_from_residuals(np.full(100, 10.0))
+        assert small > large
+
+
+class TestOneStepResiduals:
+    def test_residual_count_matches_input(self, daily_signal):
+        model = ARModel(order=2).fit(daily_signal[:2000])
+        residuals = one_step_residuals(model, daily_signal[2000:2400])
+        assert residuals.shape == (400,)
+
+    def test_good_model_has_small_residuals(self, daily_signal):
+        model = ARModel(order=2).fit(daily_signal[:2000])
+        residuals = one_step_residuals(model, daily_signal[2000:2400])
+        assert np.std(residuals) < 1.0
+
+
+class TestSelectBestModel:
+    def test_ar_wins_on_ar_data(self):
+        rng = np.random.default_rng(9)
+        n = 4000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.9 * x[t - 1] + rng.normal(0, 0.3)
+        x += 15.0
+        winner, scores = select_best_model(
+            x[:3000],
+            x[3000:],
+            [
+                lambda: ARModel(order=1),
+                lambda: MarkovChainModel(n_states=8),
+            ],
+        )
+        assert winner.spec().family == "ar"
+        assert scores["ar(1)"] < scores["markov(8)"]
+
+    def test_failed_candidates_skipped(self, daily_signal):
+        winner, scores = select_best_model(
+            daily_signal[:100],
+            daily_signal[100:200],
+            [
+                lambda: ARModel(order=99),   # cannot fit on 100 samples
+                lambda: ARModel(order=1),
+            ],
+        )
+        assert winner.spec().order == (1,)
+        assert len(scores) == 1
+
+    def test_all_failures_raise(self, daily_signal):
+        with pytest.raises(ValueError):
+            select_best_model(
+                daily_signal[:50],
+                daily_signal[50:60],
+                [lambda: ARModel(order=200)],
+            )
+
+    def test_unknown_criterion_rejected(self, daily_signal):
+        with pytest.raises(ValueError):
+            select_best_model(
+                daily_signal[:100], daily_signal[100:150], [lambda: ARModel(1)],
+                criterion="magic",
+            )
+
+    def test_winner_is_refit_on_all_data(self, daily_signal):
+        winner, _ = select_best_model(
+            daily_signal[:1000],
+            daily_signal[1000:1500],
+            [lambda: ARModel(order=2)],
+        )
+        # streaming state should sit at the last validation sample
+        prediction = winner.predict_next()
+        assert abs(prediction - daily_signal[1500]) < 2.0

@@ -1,0 +1,137 @@
+"""Unit + property tests for the skip graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.skipgraph import SkipGraph
+
+
+def build(keys, seed=0):
+    graph = SkipGraph(np.random.default_rng(seed))
+    nodes = {key: graph.insert(float(key), f"v{key}") for key in keys}
+    return graph, nodes
+
+
+class TestInsertSearch:
+    def test_level0_is_sorted(self, rng):
+        keys = rng.permutation(100)
+        graph, _ = build(keys)
+        assert list(graph.keys_in_order()) == sorted(float(k) for k in keys)
+
+    def test_exact_search(self):
+        graph, _ = build([5, 1, 9, 3, 7])
+        result = graph.search(7.0)
+        assert result.exact and result.node.key == 7.0
+
+    def test_floor_search(self):
+        graph, _ = build([10, 20, 30])
+        result = graph.search(25.0)
+        assert not result.exact
+        assert result.node.key == 20.0
+
+    def test_search_below_minimum(self):
+        graph, _ = build([10, 20])
+        assert graph.search(5.0).node is None
+
+    def test_search_empty(self):
+        graph = SkipGraph()
+        assert graph.search(1.0).node is None
+
+    def test_duplicate_keys_allowed(self):
+        graph, _ = build([5, 5, 5])
+        assert len(graph) == 3
+        assert list(graph.keys_in_order()) == [5.0, 5.0, 5.0]
+
+    def test_search_hops_logarithmic(self, rng):
+        """The headline skip-graph property: expected O(log n) hops."""
+        keys = rng.permutation(512)
+        graph, _ = build(keys, seed=1)
+        hops = [graph.search(float(k)).hops for k in rng.choice(512, 100)]
+        # log2(512) = 9; allow generous constant factor
+        assert np.mean(hops) < 4 * 9
+
+    def test_value_retrieval(self):
+        graph, _ = build([1, 2, 3])
+        assert graph.search(2.0).node.value == "v2"
+
+
+class TestDelete:
+    def test_deleted_node_unsearchable(self):
+        graph, nodes = build([1, 2, 3, 4, 5])
+        graph.delete(nodes[3])
+        result = graph.search(3.0)
+        assert not result.exact
+        assert result.node.key == 2.0
+        assert len(graph) == 4
+
+    def test_delete_head(self):
+        graph, nodes = build([1, 2, 3])
+        graph.delete(nodes[1])
+        assert list(graph.keys_in_order()) == [2.0, 3.0]
+
+    def test_order_preserved_after_deletes(self, rng):
+        keys = list(range(50))
+        graph, nodes = build(keys, seed=2)
+        for key in rng.choice(50, 20, replace=False):
+            graph.delete(nodes[int(key)])
+        remaining = list(graph.keys_in_order())
+        assert remaining == sorted(remaining)
+
+
+class TestRangeQuery:
+    def test_range_inclusive(self):
+        graph, _ = build(range(0, 100, 10))
+        found, _ = graph.range_query(20.0, 50.0)
+        assert [n.key for n in found] == [20.0, 30.0, 40.0, 50.0]
+
+    def test_range_between_keys(self):
+        graph, _ = build([10, 20, 30])
+        found, _ = graph.range_query(11.0, 19.0)
+        assert found == []
+
+    def test_empty_range_rejected(self):
+        graph, _ = build([1])
+        with pytest.raises(ValueError):
+            graph.range_query(5.0, 4.0)
+
+    def test_hops_accounted(self):
+        graph, _ = build(range(64))
+        graph.range_query(10.0, 20.0)
+        assert graph.total_search_hops > 0
+        assert graph.mean_search_hops > 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorted_and_complete(self, keys):
+        graph, _ = build(keys, seed=3)
+        in_order = list(graph.keys_in_order())
+        assert in_order == sorted(float(k) for k in keys)
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=100, unique=True),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_floor_search_correct(self, keys, probe):
+        graph, _ = build(keys, seed=4)
+        result = graph.search(float(probe))
+        candidates = [k for k in keys if k <= probe]
+        if candidates:
+            assert result.node is not None
+            assert result.node.key == float(max(candidates))
+        else:
+            assert result.node is None
+
+    @given(st.lists(st.integers(0, 500), min_size=2, max_size=80, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_property_range_matches_filter(self, keys):
+        graph, _ = build(keys, seed=5)
+        lo, hi = sorted((keys[0], keys[1]))
+        found, _ = graph.range_query(float(lo), float(hi))
+        assert [n.key for n in found] == sorted(
+            float(k) for k in keys if lo <= k <= hi
+        )

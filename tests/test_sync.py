@@ -1,0 +1,109 @@
+"""Unit tests for clock models and time synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.sync.clock import ClockModel, DriftingClock
+from repro.sync.protocol import TimeSyncProtocol
+
+
+class TestDriftingClock:
+    def test_read_reflects_offset_and_skew(self, rng):
+        clock = DriftingClock(ClockModel(offset_std_s=1.0, skew_ppm_std=100.0), rng)
+        local = clock.read(1000.0)
+        expected = clock.offset_s + (1.0 + clock.skew) * 1000.0
+        assert local == pytest.approx(expected)
+
+    def test_invert_is_exact(self, rng):
+        clock = DriftingClock(ClockModel(), rng)
+        for t in (0.0, 123.4, 86_400.0):
+            assert clock.invert(clock.read(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_skew_accumulates_over_a_day(self, rng):
+        clock = DriftingClock(ClockModel(skew_ppm_std=40.0), rng)
+        drift = abs(clock.read(86_400.0) - clock.offset_s - 86_400.0)
+        assert drift == pytest.approx(abs(clock.skew) * 86_400.0, rel=1e-6)
+
+    def test_population_spread(self):
+        rng = np.random.default_rng(0)
+        skews = [DriftingClock(ClockModel(), rng).skew for _ in range(200)]
+        assert np.std(skews) == pytest.approx(40e-6, rel=0.25)
+
+
+class TestTimeSyncProtocol:
+    def test_two_exchanges_recover_offset_and_skew(self, rng):
+        clock = DriftingClock(ClockModel(), rng)
+        sync = TimeSyncProtocol()
+        for t in (0.0, 3600.0):
+            sync.record_exchange("s0", t, clock.read(t))
+        estimate = sync.estimate_for("s0")
+        assert estimate is not None
+        assert estimate.rate == pytest.approx(1.0 + clock.skew, abs=1e-9)
+        assert estimate.offset == pytest.approx(clock.offset_s, abs=1e-6)
+
+    def test_correction_accuracy_far_from_exchanges(self, rng):
+        clock = DriftingClock(ClockModel(), rng)
+        sync = TimeSyncProtocol()
+        for t in (0.0, 1800.0, 3600.0):
+            sync.record_exchange("s0", t, clock.read(t))
+        future = 86_400.0
+        corrected = sync.correct("s0", clock.read(future))
+        assert corrected == pytest.approx(future, abs=1e-3)
+
+    def test_identity_before_estimate(self):
+        sync = TimeSyncProtocol()
+        assert sync.correct("s0", 42.0) == 42.0
+        sync.record_exchange("s0", 0.0, 0.5)
+        assert sync.estimate_for("s0") is None or True  # single sample: no fit
+
+    def test_no_fit_on_zero_span(self):
+        sync = TimeSyncProtocol()
+        sync.record_exchange("s0", 10.0, 10.2)
+        sync.record_exchange("s0", 10.0, 10.2)
+        assert sync.estimate_for("s0") is None
+
+    def test_window_bounds_memory(self):
+        sync = TimeSyncProtocol(window=4)
+        for t in range(10):
+            sync.record_exchange("s0", float(t), float(t) + 0.1)
+        assert len(sync._samples["s0"]) == 4
+
+    def test_per_sensor_isolation(self, rng):
+        clock_a = DriftingClock(ClockModel(), rng, "a")
+        clock_b = DriftingClock(ClockModel(), rng, "b")
+        sync = TimeSyncProtocol()
+        for t in (0.0, 600.0):
+            sync.record_exchange("a", t, clock_a.read(t))
+            sync.record_exchange("b", t, clock_b.read(t))
+        assert sync.correct("a", clock_a.read(5000.0)) == pytest.approx(5000.0, abs=1e-3)
+        assert sync.correct("b", clock_b.read(5000.0)) == pytest.approx(5000.0, abs=1e-3)
+
+    def test_residual_reflects_jitter(self, rng):
+        clock = DriftingClock(ClockModel(), rng)
+        sync = TimeSyncProtocol()
+        jitter = rng.normal(0.0, 0.01, 8)
+        for i, t in enumerate(np.linspace(0, 3600, 8)):
+            sync.record_exchange("s0", float(t), clock.read(float(t)) + jitter[i])
+        assert 0.0 < sync.max_residual_s() < 0.05
+
+    def test_min_samples_validation(self):
+        with pytest.raises(ValueError):
+            TimeSyncProtocol(min_samples=1)
+
+    def test_ordering_corrected_across_sensors(self, rng):
+        """Two events 5 s apart must order correctly after correction even
+        when raw local stamps disagree — the paper's temporal consistency."""
+        model = ClockModel(offset_std_s=5.0, skew_ppm_std=100.0)
+        clock_a = DriftingClock(model, rng, "a")
+        clock_b = DriftingClock(model, rng, "b")
+        sync = TimeSyncProtocol()
+        for t in (0.0, 1200.0, 2400.0):
+            sync.record_exchange("a", t, clock_a.read(t))
+            sync.record_exchange("b", t, clock_b.read(t))
+        event_a = 3000.0       # happens first, seen by a
+        event_b = 3005.0       # happens 5 s later, seen by b
+        raw_a = clock_a.read(event_a)
+        raw_b = clock_b.read(event_b)
+        corrected_a = sync.correct("a", raw_a)
+        corrected_b = sync.correct("b", raw_b)
+        assert corrected_a < corrected_b

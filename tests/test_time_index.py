@@ -1,0 +1,128 @@
+"""Unit + property tests for the time index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.time_index import IndexEntry, TimeIndex
+
+
+def build_index(spans):
+    index = TimeIndex()
+    for record_id, (start, end) in enumerate(spans):
+        index.append(IndexEntry(start_time=start, end_time=end, record_id=record_id))
+    return index
+
+
+class TestIndexEntry:
+    def test_covers(self):
+        entry = IndexEntry(10.0, 20.0, 0)
+        assert entry.covers(10.0) and entry.covers(20.0) and entry.covers(15.0)
+        assert not entry.covers(9.99) and not entry.covers(20.01)
+
+    def test_overlaps(self):
+        entry = IndexEntry(10.0, 20.0, 0)
+        assert entry.overlaps(0.0, 10.0)
+        assert entry.overlaps(20.0, 30.0)
+        assert not entry.overlaps(0.0, 9.0)
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            IndexEntry(10.0, 5.0, 0)
+
+
+class TestTimeIndex:
+    def test_lookup_hits_the_right_segment(self):
+        index = build_index([(0, 9), (10, 19), (20, 29)])
+        assert index.lookup(15.0).record_id == 1
+        assert index.lookup(0.0).record_id == 0
+        assert index.lookup(29.0).record_id == 2
+
+    def test_lookup_in_gap_returns_none(self):
+        index = build_index([(0, 9), (20, 29)])
+        assert index.lookup(15.0) is None
+
+    def test_lookup_before_first_returns_none(self):
+        index = build_index([(10, 19)])
+        assert index.lookup(5.0) is None
+
+    def test_range_returns_overlapping(self):
+        index = build_index([(0, 9), (10, 19), (20, 29), (30, 39)])
+        found = index.range(5.0, 25.0)
+        assert [e.record_id for e in found] == [0, 1, 2]
+
+    def test_range_exact_boundaries(self):
+        index = build_index([(0, 9), (10, 19)])
+        assert [e.record_id for e in index.range(9.0, 10.0)] == [0, 1]
+
+    def test_empty_range_rejected(self):
+        index = build_index([(0, 9)])
+        with pytest.raises(ValueError):
+            index.range(5.0, 4.0)
+
+    def test_out_of_order_append_rejected(self):
+        index = build_index([(10, 19)])
+        with pytest.raises(ValueError):
+            index.append(IndexEntry(5.0, 9.0, 99))
+
+    def test_replace_swaps_in_place(self):
+        index = build_index([(0, 9), (10, 19)])
+        index.replace(1, IndexEntry(10.0, 19.0, 42))
+        assert index.lookup(15.0).record_id == 42
+
+    def test_replace_with_different_span_rejected(self):
+        index = build_index([(0, 9)])
+        with pytest.raises(ValueError):
+            index.replace(0, IndexEntry(0.0, 5.0, 1))
+
+    def test_replace_missing_raises(self):
+        index = build_index([(0, 9)])
+        with pytest.raises(KeyError):
+            index.replace(7, IndexEntry(0.0, 9.0, 7))
+
+    def test_remove(self):
+        index = build_index([(0, 9), (10, 19)])
+        removed = index.remove(0)
+        assert removed.record_id == 0
+        assert index.lookup(5.0) is None
+        assert len(index) == 1
+
+    def test_oldest_and_span(self):
+        index = build_index([(5, 9), (10, 19)])
+        assert index.oldest().record_id == 0
+        assert index.span == (5.0, 19.0)
+        assert TimeIndex().oldest() is None
+        assert TimeIndex().span is None
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1e6), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_lookup_matches_linear_scan(self, raw_spans):
+        # build non-overlapping, time-ordered segments from raw draws
+        spans = []
+        cursor = 0.0
+        for offset, width in raw_spans:
+            start = cursor + (offset % 50.0)
+            end = start + (width % 25.0)
+            spans.append((start, end))
+            cursor = end + 1e-6
+        index = build_index(spans)
+        probes = [s for s, _ in spans] + [e for _, e in spans] + [
+            (s + e) / 2 for s, e in spans
+        ]
+        for probe in probes:
+            expected = next(
+                (
+                    record_id
+                    for record_id, (s, e) in enumerate(spans)
+                    if s <= probe <= e
+                ),
+                None,
+            )
+            got = index.lookup(probe)
+            assert (got.record_id if got else None) == expected

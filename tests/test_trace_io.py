@@ -1,0 +1,50 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+
+
+class TestNpzRoundtrip:
+    def test_values_and_config_survive(self, tmp_path):
+        config = IntelLabConfig(n_sensors=3, duration_s=7200.0, dropout_rate=0.1)
+        trace = IntelLabGenerator(config, seed=11).generate()
+        path = tmp_path / "trace.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.values, trace.values)
+        np.testing.assert_array_equal(loaded.timestamps, trace.timestamps)
+        assert loaded.config == config
+
+    def test_clean_values_survive(self, tmp_path):
+        config = IntelLabConfig(n_sensors=2, duration_s=3600.0)
+        trace = IntelLabGenerator(config, seed=1).generate()
+        path = tmp_path / "trace.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.clean_values, trace.clean_values)
+
+
+class TestCsvRoundtrip:
+    def test_values_survive_at_4_decimals(self, tmp_path):
+        config = IntelLabConfig(n_sensors=2, duration_s=3600.0)
+        trace = IntelLabGenerator(config, seed=2).generate()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, config)
+        np.testing.assert_allclose(loaded.values, trace.values, atol=1e-4)
+        np.testing.assert_allclose(loaded.timestamps, trace.timestamps, atol=1e-3)
+
+    def test_header_row(self, tmp_path):
+        config = IntelLabConfig(n_sensors=2, duration_s=3600.0)
+        trace = IntelLabGenerator(config, seed=2).generate()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "timestamp,sensor_0,sensor_1"

@@ -1,0 +1,139 @@
+"""Unit + property tests for the DWT (perfect reconstruction, energy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.wavelets import (
+    DB4,
+    HAAR,
+    dwt_max_level,
+    dwt_multilevel,
+    dwt_single,
+    idwt_multilevel,
+    idwt_single,
+    pad_to_pow2,
+)
+
+
+def _signals(min_pow: int = 3, max_pow: int
+= 8):
+    """Hypothesis strategy: power-of-two float arrays."""
+    return st.integers(min_pow, max_pow).flatmap(
+        lambda p: st.lists(
+            st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False, width=32),
+            min_size=2**p,
+            max_size=2**p,
+        )
+    )
+
+
+class TestFilters:
+    @pytest.mark.parametrize("wavelet", [HAAR, DB4])
+    def test_lowpass_sums_to_sqrt2(self, wavelet):
+        assert sum(wavelet.lo_d) == pytest.approx(np.sqrt(2.0))
+
+    @pytest.mark.parametrize("wavelet", [HAAR, DB4])
+    def test_highpass_sums_to_zero(self, wavelet):
+        assert sum(wavelet.hi_d) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("wavelet", [HAAR, DB4])
+    def test_filters_are_unit_norm(self, wavelet):
+        assert sum(c * c for c in wavelet.lo_d) == pytest.approx(1.0)
+        assert sum(c * c for c in wavelet.hi_d) == pytest.approx(1.0)
+
+
+class TestSingleLevel:
+    def test_output_halves_length(self, rng):
+        x = rng.normal(size=32)
+        approx, detail = dwt_single(x, HAAR)
+        assert approx.shape == detail.shape == (16,)
+
+    @pytest.mark.parametrize("wavelet", [HAAR, DB4])
+    def test_roundtrip(self, rng, wavelet):
+        x = rng.normal(size=64)
+        approx, detail = dwt_single(x, wavelet)
+        recon = idwt_single(approx, detail, wavelet)
+        np.testing.assert_allclose(recon, x, atol=1e-10)
+
+    def test_constant_signal_has_zero_detail(self):
+        x = np.full(16, 7.0)
+        _, detail = dwt_single(x, HAAR)
+        np.testing.assert_allclose(detail, 0.0, atol=1e-12)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            dwt_single(np.zeros(7), HAAR)
+
+    def test_mismatched_bands_rejected(self):
+        with pytest.raises(ValueError):
+            idwt_single(np.zeros(4), np.zeros(8), HAAR)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            dwt_single(np.zeros((4, 4)), HAAR)
+
+
+class TestMultiLevel:
+    def test_max_level_power_of_two(self):
+        assert dwt_max_level(64, HAAR) == 6   # 64 -> 1: six halvings
+        assert dwt_max_level(64, DB4) == 5    # last transform runs on length 4
+
+    @pytest.mark.parametrize("wavelet", [HAAR, DB4])
+    def test_full_roundtrip(self, rng, wavelet):
+        x = rng.normal(size=128)
+        coeffs = dwt_multilevel(x, wavelet)
+        recon = idwt_multilevel(coeffs, wavelet)
+        np.testing.assert_allclose(recon, x, atol=1e-9)
+
+    def test_coefficient_layout(self, rng):
+        x = rng.normal(size=64)
+        coeffs = dwt_multilevel(x, HAAR, levels=3)
+        sizes = [c.shape[0] for c in coeffs]
+        assert sizes == [8, 8, 16, 32]
+
+    def test_too_many_levels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dwt_multilevel(rng.normal(size=16), HAAR, levels=10)
+
+    def test_zero_levels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dwt_multilevel(rng.normal(size=16), HAAR, levels=0)
+
+    @given(_signals())
+    @settings(max_examples=30, deadline=None)
+    def test_property_perfect_reconstruction_haar(self, values):
+        x = np.asarray(values, dtype=np.float64)
+        coeffs = dwt_multilevel(x, HAAR)
+        recon = idwt_multilevel(coeffs, HAAR)
+        np.testing.assert_allclose(recon, x, atol=1e-6 * max(1.0, np.abs(x).max()))
+
+    @given(_signals())
+    @settings(max_examples=30, deadline=None)
+    def test_property_energy_preserved_db4(self, values):
+        x = np.asarray(values, dtype=np.float64)
+        coeffs = dwt_multilevel(x, DB4)
+        energy_in = float(np.sum(x**2))
+        energy_out = float(sum(np.sum(band**2) for band in coeffs))
+        assert energy_out == pytest.approx(energy_in, rel=1e-6, abs=1e-6)
+
+
+class TestPadding:
+    def test_pads_to_next_power(self):
+        padded, n = pad_to_pow2(np.arange(5, dtype=float))
+        assert padded.shape[0] == 8
+        assert n == 5
+        assert np.all(padded[5:] == padded[4])
+
+    def test_power_of_two_unchanged(self):
+        x = np.arange(8, dtype=float)
+        padded, n = pad_to_pow2(x)
+        assert padded.shape[0] == 8 and n == 8
+        # returns a copy, not a view
+        padded[0] = 99
+        assert x[0] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pad_to_pow2(np.zeros(0))
