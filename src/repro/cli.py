@@ -2,14 +2,18 @@
 
 Usage::
 
-    python -m repro figure2 [--sensors N] [--days D]
-    python -m repro table1  [--sensors N] [--days D]
-    python -m repro run     [--sensors N] [--days D] [--model KIND]
-    python -m repro models  [--days D]
+    python -m repro figure2    [--sensors N] [--days D]
+    python -m repro table1     [--sensors N] [--days D]
+    python -m repro run        [--sensors N] [--days D] [--model KIND]
+    python -m repro models     [--days D]
+    python -m repro federation [--proxies P] [--shard-policy POLICY]
+                               [--replication-factor R] [--kill-proxy NAME]
 
 ``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
 one PRESTO cell and prints its report; ``models`` compares push suppression
-across every model family on one trace.
+across every model family on one trace; ``federation`` shards the
+deployment across a directory-routed proxy cluster (optionally killing a
+proxy mid-run to exercise replica failover).
 """
 
 from __future__ import annotations
@@ -29,9 +33,14 @@ from repro.baselines.strategies import (
     figure2_sweep,
     figure2_trace_config,
 )
-from repro.core import PrestoConfig, PrestoSystem
+from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
+from repro.core.config import SHARD_POLICIES
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
-from repro.traces.workload import QueryWorkloadConfig, QueryWorkloadGenerator
+from repro.traces.workload import (
+    QueryWorkloadConfig,
+    QueryWorkloadGenerator,
+    ShardedWorkloadGenerator,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -147,6 +156,51 @@ def cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federation(args: argparse.Namespace) -> int:
+    """Run a sharded multi-proxy federation and print its report."""
+    trace_config = IntelLabConfig(
+        n_sensors=args.sensors, duration_s=args.days * 86_400.0, epoch_s=31.0
+    )
+    trace = IntelLabGenerator(trace_config, seed=args.seed).generate()
+    try:
+        federation = FederationConfig(
+            n_proxies=args.proxies,
+            shard_policy=args.shard_policy,
+            replication_factor=args.replication_factor,
+        )
+        system = FederatedSystem(
+            trace,
+            PrestoConfig(sample_period_s=31.0, refit_interval_s=6 * 3600.0),
+            federation=federation,
+            seed=args.seed,
+        )
+        if args.kill_proxy:
+            system.schedule_failure(
+                args.kill_proxy, trace_config.duration_s / 2.0
+            )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    workload = ShardedWorkloadGenerator(
+        system.shards,
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 180.0),
+        np.random.default_rng(args.seed + 1),
+    )
+    queries = workload.generate(3600.0, trace_config.duration_s)
+    report = system.run(queries=queries)
+    print(f"shards ({federation.shard_policy}):")
+    for fc in system.cells:
+        tier = "wired" if fc.wired else "wireless"
+        print(f"  {fc.name:8s} [{tier:8s}] sensors {fc.sensor_ids}")
+    print(f"replication plan: {system.replication_plan}")
+    for key, value in report.summary().items():
+        print(f"{key:26s} {value:.4f}")
+    print(f"{'answer_mix':26s} {report.answer_mix()}")
+    print(f"{'per-cell energy (J)':26s} "
+          + " ".join(f"{r.sensor_energy_j:.1f}" for r in report.cell_reports))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -159,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", cmd_table1, None),
         ("run", cmd_run, "model"),
         ("models", cmd_models, None),
+        ("federation", cmd_federation, "federation"),
     ):
         sub = subparsers.add_parser(name, help=handler.__doc__)
         _add_common(sub)
@@ -167,6 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
                 "--model",
                 default="arima",
                 choices=("arima", "ar", "seasonal", "markov", "sarima"),
+            )
+        elif extra == "federation":
+            sub.add_argument(
+                "--proxies", type=int, default=4, help="proxy cell count"
+            )
+            sub.add_argument(
+                "--shard-policy",
+                default="contiguous",
+                choices=SHARD_POLICIES,
+                help="sensor-to-proxy sharding policy",
+            )
+            sub.add_argument(
+                "--replication-factor",
+                type=int,
+                default=1,
+                help="wired replicas per wireless proxy",
+            )
+            sub.add_argument(
+                "--kill-proxy",
+                default=None,
+                metavar="NAME",
+                help="mark this proxy dead at half the run (e.g. proxy2)",
             )
         sub.set_defaults(handler=handler)
     return parser

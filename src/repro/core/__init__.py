@@ -13,10 +13,12 @@ The pieces map one-to-one onto the architecture of Figure 1:
 * :mod:`repro.core.sensor` / :mod:`repro.core.proxy` — the two active tiers;
 * :mod:`repro.core.unified` — the single logical view over many proxies;
 * :mod:`repro.core.system` — the simulation harness that wires a whole
-  deployment together and replays traces + query workloads.
+  deployment together and replays traces + query workloads;
+* :mod:`repro.core.federation` — the multi-proxy cluster: sharding,
+  directory-routed queries, replication and failover.
 """
 
-from repro.core.config import PrestoConfig
+from repro.core.config import FederationConfig, PrestoConfig
 from repro.core.queries import AnswerSource, QueryAnswer
 from repro.core.cache import CacheEntry, EntrySource, SummaryCache
 from repro.core.continuous import (
@@ -31,10 +33,17 @@ from repro.core.matching import QueryProfile, QuerySensorMatcher, SensorOperatin
 from repro.core.sensor import PrestoSensor
 from repro.core.proxy import PrestoProxy
 from repro.core.unified import UnifiedStore
-from repro.core.system import PrestoSystem, SystemReport
+from repro.core.system import CellBuilder, PrestoCell, PrestoSystem, SystemReport
+from repro.core.federation import (
+    FederatedCell,
+    FederatedReport,
+    FederatedSystem,
+    partition_sensors,
+)
 
 __all__ = [
     "PrestoConfig",
+    "FederationConfig",
     "AnswerSource",
     "QueryAnswer",
     "CacheEntry",
@@ -55,6 +64,12 @@ __all__ = [
     "PrestoSensor",
     "PrestoProxy",
     "UnifiedStore",
+    "CellBuilder",
+    "PrestoCell",
     "PrestoSystem",
     "SystemReport",
+    "FederatedCell",
+    "FederatedReport",
+    "FederatedSystem",
+    "partition_sensors",
 ]

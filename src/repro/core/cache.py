@@ -119,6 +119,12 @@ class SummaryCache:
         hi = bisect.bisect_right(times, end)
         return self._entries[sensor][lo:hi]
 
+    def tail(self, sensor: int, count: int) -> list[CacheEntry]:
+        """The newest *count* entries for *sensor* (the replication hot set)."""
+        if count < 1:
+            raise ValueError(f"need a positive tail size, got {count}")
+        return list(self._entries.get(sensor, [])[-count:])
+
     def latest(self, sensor: int) -> CacheEntry | None:
         """Most recent entry for *sensor*."""
         entries = self._entries.get(sensor)

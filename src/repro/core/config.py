@@ -1,4 +1,4 @@
-"""Deployment-wide configuration for a PRESTO cell."""
+"""Deployment-wide configuration for a PRESTO cell and proxy federation."""
 
 from __future__ import annotations
 
@@ -65,3 +65,55 @@ class PrestoConfig:
             raise ValueError("min training epochs must be >= 2")
         if self.batch_interval_s < 0:
             raise ValueError("batch interval must be >= 0")
+
+
+#: recognised sensor-to-proxy sharding policies
+SHARD_POLICIES = ("contiguous", "round_robin", "balanced")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Knobs of a multi-proxy federation (Section 5 deployment).
+
+    A federation partitions one deployment's sensors across ``n_proxies``
+    cells.  The first ``max(1, round(wired_fraction * n_proxies))`` proxies
+    are wired (low-latency, reliable backhaul); the rest sit on an 802.11
+    mesh, and their summary caches and model parameters are replicated onto
+    ``replication_factor`` wired proxies every ``replica_sync_interval_s``.
+    """
+
+    n_proxies: int = 1
+    shard_policy: str = "contiguous"     # contiguous | round_robin | balanced
+    replication_factor: int = 1
+    wired_fraction: float = 0.5
+    wired_latency_s: float = 0.01        # nominal wired response latency
+    wireless_latency_s: float = 0.25     # nominal 802.11-mesh response latency
+    hop_latency_s: float = 0.002         # per skip-graph routing hop
+    replica_sync_interval_s: float = 3_600.0
+    hot_entries_per_sensor: int = 64     # cache tail replicated per sensor
+
+    def __post_init__(self) -> None:
+        if self.n_proxies < 1:
+            raise ValueError(f"need >= 1 proxy, got {self.n_proxies}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {self.shard_policy!r}; "
+                f"expected one of {SHARD_POLICIES}"
+            )
+        if self.replication_factor < 0:
+            raise ValueError("replication factor must be >= 0")
+        if not 0.0 <= self.wired_fraction <= 1.0:
+            raise ValueError("wired fraction must be in [0, 1]")
+        if self.wired_latency_s < 0 or self.wireless_latency_s < 0:
+            raise ValueError("response latencies must be >= 0")
+        if self.hop_latency_s < 0:
+            raise ValueError("hop latency must be >= 0")
+        if self.replica_sync_interval_s <= 0:
+            raise ValueError("replica sync interval must be positive")
+        if self.hot_entries_per_sensor < 1:
+            raise ValueError("must replicate at least one entry per sensor")
+
+    @property
+    def n_wired(self) -> int:
+        """How many proxies get wired backhaul (always at least one)."""
+        return max(1, int(round(self.wired_fraction * self.n_proxies)))

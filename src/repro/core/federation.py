@@ -1,0 +1,588 @@
+"""Directory-routed multi-proxy federation.
+
+Section 5 of the paper anticipates deployments with many proxies: sensors
+are partitioned across cells, an order-preserving index routes queries to
+the proxy owning a sensor, and "caches and prediction models at the
+wireless proxies may need to be further replicated at the wired proxies to
+enable low-latency query responses".  This module is that deployment story
+as one harness:
+
+* :func:`partition_sensors` shards a deployment trace across N proxies
+  (contiguous/spatial blocks, round-robin, or variance-balanced);
+* every cell is stamped out by :class:`~repro.core.system.CellBuilder` and
+  runs on **one shared simulator**, so the whole cluster shares a virtual
+  timeline;
+* query routing resolves the owning proxy through a skip graph over
+  contiguous ownership runs (O(log P) hops, counted and charged as routing
+  latency) and consults the :class:`~repro.index.directory.CacheDirectory`
+  when the owner is dead;
+* wireless proxies' hot summary-cache tails and model trackers are
+  replicated to wired proxies on a sync period, and failover answers are
+  served from that replicated state — *only* from it, so availability
+  experiments measure what replication actually bought.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import CacheEntry
+from repro.core.config import FederationConfig, PrestoConfig
+from repro.core.push import ProxyModelTracker
+from repro.core.queries import AnswerSource, QueryAnswer
+from repro.core.system import CellBuilder, PrestoCell, SystemReport, ground_truth
+from repro.index.directory import CacheDirectory
+from repro.index.skipgraph import SkipGraph
+from repro.simulation.kernel import Simulator
+from repro.simulation.process import PeriodicTask
+from repro.simulation.randomness import RandomStreams
+from repro.sync.clock import ClockModel
+from repro.traces.intel_lab import TraceSet
+from repro.traces.workload import Query, QueryKind
+
+
+def partition_sensors(
+    trace: TraceSet, n_proxies: int, policy: str
+) -> list[list[int]]:
+    """Assign the trace's global sensor ids to *n_proxies* shards.
+
+    ``contiguous``
+        Spatial blocks of neighbouring ids — one proxy per floor/hallway,
+        the paper's deployment sketch.
+    ``round_robin``
+        Sensor ``i`` goes to proxy ``i % n_proxies`` — maximally interleaved,
+        the stress case for routing.
+    ``balanced``
+        Greedy bin packing by per-sensor signal variance: a proxy's load
+        tracks push traffic, which tracks variability, so high-variance
+        sensors are spread first.
+
+    Every shard is returned sorted ascending; shard ``k`` belongs to proxy
+    ``k``.
+    """
+    n = trace.n_sensors
+    if n_proxies < 1:
+        raise ValueError(f"need >= 1 proxy, got {n_proxies}")
+    if n_proxies > n:
+        raise ValueError(f"{n_proxies} proxies for {n} sensors")
+    if policy == "contiguous":
+        shards = [list(map(int, block)) for block in np.array_split(np.arange(n), n_proxies)]
+    elif policy == "round_robin":
+        shards = [list(range(k, n, n_proxies)) for k in range(n_proxies)]
+    elif policy == "balanced":
+        variance = np.nan_to_num(np.nanvar(trace.values, axis=1), nan=0.0)
+        order = np.argsort(-variance, kind="stable")
+        loads = [0.0] * n_proxies
+        shards = [[] for _ in range(n_proxies)]
+        for sensor in order:
+            lightest = min(range(n_proxies), key=lambda k: (loads[k], k))
+            shards[lightest].append(int(sensor))
+            loads[lightest] += float(variance[sensor])
+        shards = [sorted(shard) for shard in shards]
+    else:
+        raise ValueError(f"unknown shard policy {policy!r}")
+    if any(not shard for shard in shards):
+        raise ValueError(f"policy {policy!r} produced an empty shard")
+    return shards
+
+
+@dataclass
+class FederatedCell:
+    """One proxy cell plus its place in the federation."""
+
+    cell_id: int
+    cell: PrestoCell
+    sensor_ids: list[int]          # sorted global ids; local i <-> sensor_ids[i]
+    wired: bool
+    response_latency_s: float
+
+    @property
+    def name(self) -> str:
+        """The cell's proxy name (the directory / routing key)."""
+        return self.cell.proxy.name
+
+    def to_local(self, global_sensor: int) -> int:
+        """Translate a global sensor id into this cell's local numbering."""
+        position = bisect.bisect_left(self.sensor_ids, global_sensor)
+        if (
+            position == len(self.sensor_ids)
+            or self.sensor_ids[position] != global_sensor
+        ):
+            raise ValueError(f"sensor {global_sensor} not in cell {self.name}")
+        return position
+
+    def to_global(self, local_sensor: int) -> int:
+        """Translate a local sensor index back to the global id."""
+        return self.sensor_ids[local_sensor]
+
+
+@dataclass
+class SensorReplica:
+    """Replicated hot state of one sensor at sync time."""
+
+    entries: list[CacheEntry]
+    tracker: ProxyModelTracker | None
+    synced_at_s: float
+
+
+@dataclass
+class ProxyReplica:
+    """One wired proxy's copy of a wireless proxy's caches and models."""
+
+    owner: str                     # the wireless proxy replicated from
+    host: str                      # the wired proxy holding the copy
+    sensors: dict[int, SensorReplica] = field(default_factory=dict)
+    syncs: int = 0
+
+
+@dataclass
+class FederatedReport(SystemReport):
+    """A :class:`SystemReport` aggregated across cells, plus routing metrics."""
+
+    n_proxies: int = 1
+    shard_policy: str = "contiguous"
+    replication_factor: int = 0
+    cross_proxy_hops: int = 0      # total skip-graph hops over all queries
+    replica_hits: int = 0          # failover queries answered from a replica
+    failovers: int = 0             # queries whose owning proxy was dead
+    unroutable: int = 0            # queries with no live server at all
+    replica_syncs: int = 0
+    cell_reports: list[SystemReport] = field(default_factory=list)
+
+    @property
+    def mean_routing_hops(self) -> float:
+        """Average skip-graph hops per routed query (NaN with no queries)."""
+        if not self.answers:
+            return float("nan")
+        return self.cross_proxy_hops / len(self.answers)
+
+    @property
+    def replica_hit_rate(self) -> float:
+        """Fraction of failover queries a replica could answer.
+
+        NaN when no failovers happened — a run without proxy deaths is no
+        evidence about replication (same convention as
+        :attr:`SystemReport.answered_fraction`).
+        """
+        if self.failovers == 0:
+            return float("nan")
+        return self.replica_hits / self.failovers
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict: the single-cell summary plus routing metrics."""
+        base = super().summary()
+        base.update(
+            {
+                "n_proxies": float(self.n_proxies),
+                "mean_routing_hops": self.mean_routing_hops,
+                "replica_hit_rate": self.replica_hit_rate,
+                "failovers": float(self.failovers),
+                "unroutable": float(self.unroutable),
+            }
+        )
+        return base
+
+
+class FederatedSystem:
+    """A cluster of PRESTO cells behind one directory-routed query front.
+
+    With ``n_proxies=1`` this degenerates to exactly the single-cell
+    :class:`~repro.core.system.PrestoSystem` (same seed, same trace — same
+    energy, latency and answers), which is the correctness anchor for
+    everything the federation adds.
+
+    Proxy death is modelled at the routing layer: a dead proxy's cell keeps
+    simulating (its in-simulation state is what the proxy *would* hold, and
+    is what a recovered proxy resumes with), but queries can no longer reach
+    it — they fail over to the lowest-latency wired proxy holding a replica,
+    which answers **only** from the state replicated before the failure.
+    """
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        config: PrestoConfig | None = None,
+        federation: FederationConfig | None = None,
+        seed: int = 0,
+        model_clocks: bool = False,
+        clock_model: ClockModel | None = None,
+    ) -> None:
+        self.trace = trace
+        self.federation = federation or FederationConfig()
+        fed = self.federation
+        self.shards = partition_sensors(trace, fed.n_proxies, fed.shard_policy)
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=seed)
+        builder = CellBuilder(
+            config=config, model_clocks=model_clocks, clock_model=clock_model
+        )
+        self.config = builder.resolve_config(trace)
+        builder.config = self.config
+        self.cells: list[FederatedCell] = []
+        for cell_id, ids in enumerate(self.shards):
+            cell = builder.build(
+                trace.subset(ids),
+                self.sim,
+                RandomStreams(seed=seed + cell_id),
+                proxy_name=f"proxy{cell_id}",
+            )
+            wired = cell_id < fed.n_wired
+            self.cells.append(
+                FederatedCell(
+                    cell_id=cell_id,
+                    cell=cell,
+                    sensor_ids=list(ids),
+                    wired=wired,
+                    response_latency_s=(
+                        fed.wired_latency_s if wired else fed.wireless_latency_s
+                    ),
+                )
+            )
+        self._by_name = {fc.name: fc for fc in self.cells}
+
+        # Cluster-wide cache placement and replication planning.
+        self.directory = CacheDirectory(replication_factor=fed.replication_factor)
+        for fc in self.cells:
+            self.directory.register_proxy(
+                fc.name, wired=fc.wired, response_latency_s=fc.response_latency_s
+            )
+            self.directory.publish_cache(fc.name, set(fc.sensor_ids))
+        self.replication_plan = self.directory.plan_replication()
+        self._replicas: dict[tuple[str, str], ProxyReplica] = {
+            (host, owner): ProxyReplica(owner=owner, host=host)
+            for owner, hosts in self.replication_plan.items()
+            for host in hosts
+        }
+
+        # Ownership lookup: one skip-graph node per contiguous run of sensors
+        # owned by the same proxy, so "who owns sensor s" is a floor search —
+        # O(log P) for contiguous shards, never a dict scan.
+        owner_of = {
+            sensor: fc.name for fc in self.cells for sensor in fc.sensor_ids
+        }
+        self._owners = SkipGraph(rng=self.streams.get("federation.skipgraph"))
+        for sensor in range(trace.n_sensors):
+            if sensor == 0 or owner_of[sensor] != owner_of[sensor - 1]:
+                self._owners.insert(float(sensor), owner_of[sensor])
+
+        self.cross_proxy_hops = 0
+        self.replica_hits = 0
+        self.failovers = 0
+        self.unroutable = 0
+        self.replica_syncs = 0
+        self._query_log: list[tuple[Query, QueryAnswer]] = []
+        self._failures: list[tuple[float, str]] = []
+        self._recoveries: list[tuple[float, str]] = []
+
+    # -- membership & failure injection -------------------------------------------
+
+    @property
+    def proxy_names(self) -> list[str]:
+        """All proxy names, cell order (wired first)."""
+        return [fc.name for fc in self.cells]
+
+    def cell_for(self, proxy_name: str) -> FederatedCell:
+        """Lookup a federated cell by proxy name."""
+        return self._by_name[proxy_name]
+
+    def owner_of(self, sensor: int) -> str:
+        """Resolve the owning proxy of a global sensor id (skip-graph route)."""
+        name, _ = self._owners.floor_value(float(sensor))
+        return name
+
+    def fail_proxy(self, proxy_name: str) -> None:
+        """Take a proxy offline right now (queries start failing over)."""
+        self.directory.mark_down(self._by_name[proxy_name].name)
+
+    def recover_proxy(self, proxy_name: str) -> None:
+        """Bring a proxy back online."""
+        self.directory.mark_up(self._by_name[proxy_name].name)
+
+    def _validate_proxy(self, proxy_name: str) -> None:
+        if proxy_name not in self._by_name:
+            raise ValueError(
+                f"unknown proxy {proxy_name!r}; have {self.proxy_names}"
+            )
+
+    def schedule_failure(self, proxy_name: str, at_s: float) -> None:
+        """Kill *proxy_name* at virtual time *at_s* during :meth:`run`."""
+        self._validate_proxy(proxy_name)
+        self._failures.append((float(at_s), proxy_name))
+
+    def schedule_recovery(self, proxy_name: str, at_s: float) -> None:
+        """Recover *proxy_name* at virtual time *at_s* during :meth:`run`."""
+        self._validate_proxy(proxy_name)
+        self._recoveries.append((float(at_s), proxy_name))
+
+    # -- replication ----------------------------------------------------------------
+
+    def _sync_replicas(self) -> None:
+        """Ship each live wireless proxy's hot state to its wired replicas.
+
+        A replica only ever holds state from *before* a failure — sync skips
+        dead owners (nothing to ship) and dead hosts (nowhere to ship).
+        Each owner is snapshotted once per sync and the (immutable) snapshot
+        shared by all its replica hosts.
+        """
+        now = self.sim.now
+        hot = self.federation.hot_entries_per_sensor
+        for owner, hosts in self.replication_plan.items():
+            if not self.directory.proxy(owner).alive:
+                continue
+            live_replicas = [
+                self._replicas[(host, owner)]
+                for host in hosts
+                if self.directory.proxy(host).alive
+            ]
+            if not live_replicas:
+                continue
+            fc = self._by_name[owner]
+            snapshot: dict[int, SensorReplica] = {}
+            for local, global_id in enumerate(fc.sensor_ids):
+                entries, tracker = fc.cell.proxy.export_replica_state(local, hot)
+                if not entries and tracker is None:
+                    continue
+                snapshot[global_id] = SensorReplica(
+                    entries=entries, tracker=tracker, synced_at_s=now
+                )
+            for replica in live_replicas:
+                replica.sensors.update(snapshot)
+                replica.syncs += 1
+                self.replica_syncs += 1
+
+    def replica_for(self, host: str, owner: str) -> ProxyReplica:
+        """The replica of *owner* held at *host* (KeyError if not planned)."""
+        return self._replicas[(host, owner)]
+
+    # -- query routing ----------------------------------------------------------------
+
+    def route_query(self, query: Query) -> QueryAnswer:
+        """Route one global query to its owner or a live replica and log it.
+
+        Queries enter the federation at the skip graph's entry node.  When
+        the floor search ends there (``hops == 0`` — always, with a single
+        proxy), the query is served where it arrived and pays nothing
+        beyond the cell's own processing; otherwise it pays the routing
+        hops *plus* the serving proxy's nominal response latency — which is
+        what makes a live 802.11-mesh proxy slow (0.25 s class) and a
+        wired replica taking over for it *faster*, the Section 5 argument
+        for replicating onto wired proxies.
+        """
+        fed = self.federation
+        if not 0 <= query.sensor < self.trace.n_sensors:
+            self.unroutable += 1
+            answer = QueryAnswer(
+                query=query, value=None, source=AnswerSource.FAILED, latency_s=0.0
+            )
+            self._query_log.append((query, answer))
+            return answer
+        owner_name, hops = self._owners.floor_value(float(query.sensor))
+        self.cross_proxy_hops += hops
+        routing_latency = hops * fed.hop_latency_s
+        owner = self.directory.proxy(owner_name)
+        if owner.alive:
+            if hops > 0:
+                routing_latency += owner.response_latency_s
+            fc = self._by_name[owner_name]
+            local = fc.cell.run_query(self._rewrite(query, fc))
+            answer = QueryAnswer(
+                query=query,
+                value=local.value,
+                source=local.source,
+                latency_s=local.latency_s + routing_latency,
+                believed_std=local.believed_std,
+                sensor_energy_j=local.sensor_energy_j,
+                pulled_bytes=local.pulled_bytes,
+            )
+        else:
+            self.failovers += 1
+            answer = self._failover_answer(query, owner_name, routing_latency)
+        self._query_log.append((query, answer))
+        return answer
+
+    @staticmethod
+    def _rewrite(query: Query, fc: FederatedCell) -> Query:
+        """Rewrite a global query into the cell's local sensor numbering."""
+        return dataclasses.replace(query, sensor=fc.to_local(query.sensor))
+
+    def _failover_answer(
+        self, query: Query, owner_name: str, routing_latency: float
+    ) -> QueryAnswer:
+        """Answer for a dead owner from the best live replica, or fail."""
+        best = self.directory.best_server(query.sensor)
+        base_latency = self.config.proxy_processing_s + routing_latency
+        if best is None or best.name == owner_name:
+            self.unroutable += 1
+            return QueryAnswer(
+                query=query,
+                value=None,
+                source=AnswerSource.FAILED,
+                latency_s=base_latency,
+            )
+        replica = self._replicas[(best.name, owner_name)]
+        latency = base_latency + best.response_latency_s
+        state = replica.sensors.get(query.sensor)
+        estimate = self._replica_estimate(state, query) if state else None
+        if estimate is None:
+            return QueryAnswer(
+                query=query,
+                value=None,
+                source=AnswerSource.FAILED,
+                latency_s=latency,
+            )
+        value, std, source = estimate
+        self.replica_hits += 1
+        return QueryAnswer(
+            query=query,
+            value=value,
+            source=source,
+            latency_s=latency,
+            believed_std=std,
+        )
+
+    def _replica_estimate(
+        self, state: SensorReplica, query: Query
+    ) -> tuple[float, float, AnswerSource] | None:
+        """Best-effort answer from replicated state frozen at sync time."""
+        period = self.config.sample_period_s
+        if query.kind is QueryKind.NOW:
+            last = state.entries[-1] if state.entries else None
+            if last is None:
+                return None
+            steps = int(round((query.arrival_time - last.timestamp) / period))
+            if state.tracker is not None and steps >= 1:
+                value, std = state.tracker.forecast_value(steps)
+                return value, max(std, last.std), AnswerSource.PREDICTION
+            # No model replicated: serve the last synced value, widened by
+            # its age (random-walk growth at the push tolerance scale).
+            staleness = self.config.push_delta * np.sqrt(max(steps, 0) / 3.0)
+            return last.value, last.std + staleness, AnswerSource.PREDICTION
+        if query.kind is QueryKind.PAST_POINT:
+            target = query.target_time
+            best_entry = None
+            best_gap = period
+            for entry in state.entries:
+                gap = abs(entry.timestamp - target)
+                if gap <= best_gap:
+                    best_gap = gap
+                    best_entry = entry
+            if best_entry is None:
+                return None
+            source = (
+                AnswerSource.CACHE if best_entry.is_actual else AnswerSource.PREDICTION
+            )
+            return best_entry.value, best_entry.std, source
+        start = min(query.target_time, query.arrival_time)
+        end = min(start + query.window_s, query.arrival_time)
+        values = [e.value for e in state.entries if start <= e.timestamp <= end]
+        if not values:
+            return None
+        worst_std = max(
+            e.std for e in state.entries if start <= e.timestamp <= end
+        )
+        data = np.asarray(values, dtype=np.float64)
+        if query.aggregate == "mean":
+            value = float(np.mean(data))
+        elif query.aggregate == "min":
+            value = float(np.min(data))
+        else:
+            value = float(np.max(data))
+        all_actual = all(
+            e.is_actual for e in state.entries if start <= e.timestamp <= end
+        )
+        source = AnswerSource.CACHE if all_actual else AnswerSource.PREDICTION
+        return value, worst_std, source
+
+    # -- main entry ---------------------------------------------------------------------
+
+    def run(
+        self,
+        queries: list[Query] | None = None,
+        duration_s: float | None = None,
+    ) -> FederatedReport:
+        """Replay the trace across all cells, routing *queries* globally."""
+        queries = queries or []
+        horizon = (
+            duration_s if duration_s is not None else self.trace.config.duration_s
+        )
+        for fc in self.cells:
+            fc.cell.start_tasks()
+        sync_task = None
+        if self._replicas:
+            sync_task = PeriodicTask(
+                self.sim,
+                self.federation.replica_sync_interval_s,
+                self._sync_replicas,
+                start_offset=self.federation.replica_sync_interval_s,
+            )
+            sync_task.start()
+        for at_s, name in self._failures:
+            if at_s < horizon:
+                self.sim.schedule(at_s, lambda n=name: self.fail_proxy(n))
+        for at_s, name in self._recoveries:
+            if at_s < horizon:
+                self.sim.schedule(at_s, lambda n=name: self.recover_proxy(n))
+        for query in queries:
+            if query.arrival_time < horizon:
+                self.sim.schedule(
+                    query.arrival_time, lambda q=query: self.route_query(q)
+                )
+        self.sim.run_until(horizon)
+        for fc in self.cells:
+            fc.cell.stop_tasks()
+        if sync_task is not None:
+            sync_task.stop()
+        for fc in self.cells:
+            fc.cell.finalise(horizon)
+        return self._report(horizon)
+
+    def _report(self, horizon: float) -> FederatedReport:
+        cell_reports = [fc.cell.report(horizon) for fc in self.cells]
+        answers = [answer for _, answer in self._query_log]
+        truths = [ground_truth(self.trace, query) for query, _ in self._query_log]
+        by_category: dict[str, float] = {}
+        for report in cell_reports:
+            for category, joules in report.sensor_energy_by_category.items():
+                by_category[category] = by_category.get(category, 0.0) + joules
+        per_sensor = [0.0] * self.trace.n_sensors
+        for fc, report in zip(self.cells, cell_reports):
+            for local, global_id in enumerate(fc.sensor_ids):
+                per_sensor[global_id] = report.per_sensor_energy_j[local]
+        packets_sent = sum(fc.cell.network.packets_sent for fc in self.cells)
+        packets_delivered = sum(
+            fc.cell.network.packets_delivered for fc in self.cells
+        )
+        return FederatedReport(
+            duration_s=horizon,
+            n_sensors=self.trace.n_sensors,
+            answers=answers,
+            truths=truths,
+            sensor_energy_j=sum(r.sensor_energy_j for r in cell_reports),
+            sensor_energy_by_category=by_category,
+            proxy_energy_j=sum(r.proxy_energy_j for r in cell_reports),
+            per_sensor_energy_j=per_sensor,
+            pushes=sum(r.pushes for r in cell_reports),
+            cold_pushes=sum(r.cold_pushes for r in cell_reports),
+            batches=sum(r.batches for r in cell_reports),
+            pulls=sum(r.pulls for r in cell_reports),
+            pull_failures=sum(r.pull_failures for r in cell_reports),
+            packets_sent=packets_sent,
+            delivery_ratio=(
+                packets_delivered / packets_sent if packets_sent else 1.0
+            ),
+            model_refits=sum(r.model_refits for r in cell_reports),
+            cache_size=sum(r.cache_size for r in cell_reports),
+            n_proxies=self.federation.n_proxies,
+            shard_policy=self.federation.shard_policy,
+            replication_factor=self.federation.replication_factor,
+            cross_proxy_hops=self.cross_proxy_hops,
+            replica_hits=self.replica_hits,
+            failovers=self.failovers,
+            unroutable=self.unroutable,
+            replica_syncs=self.replica_syncs,
+            cell_reports=cell_reports,
+        )

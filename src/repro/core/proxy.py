@@ -12,6 +12,7 @@ grace period so an in-flight push is not preempted by a silent advance).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -577,6 +578,22 @@ class PrestoProxy:
             source=AnswerSource.FAILED,
             latency_s=self.config.proxy_processing_s + latency_so_far,
         )
+
+    # -- replication ------------------------------------------------------------
+
+    def export_replica_state(
+        self, sensor: int, max_entries: int
+    ) -> tuple[list[CacheEntry], ProxyModelTracker | None]:
+        """Snapshot one sensor's hot state for replication to another proxy.
+
+        Returns the newest *max_entries* summary-cache entries plus an
+        independent copy of the sensor's model tracker (or None before the
+        first model activates) — the "caches and prediction models ...
+        further replicated at the wired proxies" of Section 5.
+        """
+        entries = self.cache.tail(sensor, max_entries)
+        tracker = self._states[sensor].tracker
+        return entries, copy.deepcopy(tracker) if tracker is not None else None
 
     # -- stats ------------------------------------------------------------------
 

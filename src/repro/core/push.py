@@ -142,6 +142,25 @@ class ProxyModelTracker:
         except (RuntimeError, ValueError):
             return self.predicted_std() * (steps ** 0.5)
 
+    def forecast_value(self, steps: int) -> tuple[float, float]:
+        """Mean and std *steps* epochs past the last known state.
+
+        Used by wired replicas answering for a failed wireless proxy: the
+        replicated model extrapolates from its last synchronised state
+        without touching the tracker (the copy must stay frozen at sync
+        time for repeated queries to agree).
+        """
+        if steps < 1:
+            raise ValueError(f"need >= 1 forecast step, got {steps}")
+        try:
+            forecast = self._model.forecast(steps)
+            return float(forecast.mean[-1]), float(forecast.std[-1])
+        except (RuntimeError, ValueError):
+            return (
+                float(self._model.predict_next()),
+                self.predicted_std() * (steps ** 0.5),
+            )
+
 
 def verify_replicas_in_sync(
     checker: SensorModelChecker, tracker: ProxyModelTracker

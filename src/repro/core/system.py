@@ -4,11 +4,16 @@ Wires a complete PRESTO cell — trace, sensors (with clocks, archives and
 energy meters), network, proxy — into one :class:`Simulator`, replays a
 query workload against it, and produces the :class:`SystemReport` that every
 benchmark and example consumes.
+
+The per-cell construction lives in :class:`CellBuilder` / :class:`PrestoCell`
+so that the federation harness (:mod:`repro.core.federation`) can stamp out
+many cells over one shared simulator; :class:`PrestoSystem` is the
+single-cell wrapper that every existing benchmark uses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +36,33 @@ from repro.traces.workload import Query, QueryKind
 
 #: how often bulk idle-listening energy is accounted
 IDLE_ACCOUNTING_PERIOD_S = 3600.0
+
+
+def ground_truth(trace: TraceSet, query: Query) -> float | None:
+    """Ground-truth answer for *query* against *trace*.
+
+    Shared by the single-cell and federated harnesses.  Window queries slice
+    the value matrix by a searchsorted index range (O(log n) per query)
+    instead of recomputing a boolean mask over the full timestamp array.
+    """
+    if query.kind in (QueryKind.NOW, QueryKind.PAST_POINT):
+        target = (
+            query.arrival_time if query.kind is QueryKind.NOW else query.target_time
+        )
+        epoch = trace.epoch_of(min(target, trace.timestamps[-1]))
+        value = trace.values[query.sensor, epoch]
+        return None if np.isnan(value) else float(value)
+    start = query.target_time
+    end = start + query.window_s
+    window = trace.values[query.sensor, trace.window_slice(start, end)]
+    window = window[~np.isnan(window)]
+    if window.size == 0:
+        return None
+    if query.aggregate == "mean":
+        return float(np.mean(window))
+    if query.aggregate == "min":
+        return float(np.min(window))
+    return float(np.max(window))
 
 
 @dataclass
@@ -73,9 +105,13 @@ class SystemReport:
 
     @property
     def answered_fraction(self) -> float:
-        """Fraction of queries that produced a value."""
+        """Fraction of queries that produced a value.
+
+        NaN when no queries ran — "no evidence" must not read as a perfect
+        score in benchmark tables.
+        """
         if not self.answers:
-            return 1.0
+            return float("nan")
         return float(np.mean([a.answered for a in self.answers]))
 
     def errors(self) -> list[float]:
@@ -95,9 +131,12 @@ class SystemReport:
 
     @property
     def success_rate(self) -> float:
-        """Answered within both precision and latency bounds."""
+        """Answered within both precision and latency bounds.
+
+        NaN when no queries ran (see :attr:`answered_fraction`).
+        """
         if not self.answers:
-            return 1.0
+            return float("nan")
         successes = 0
         evaluated = 0
         for answer, truth in zip(self.answers, self.truths):
@@ -108,7 +147,7 @@ class SystemReport:
                 if abs(answer.value - truth) > answer.query.precision:
                     continue
             successes += 1
-        return successes / evaluated if evaluated else 1.0
+        return successes / evaluated if evaluated else float("nan")
 
     def answer_mix(self) -> dict[str, int]:
         """Histogram of answer sources."""
@@ -141,42 +180,50 @@ class SystemReport:
         }
 
 
-class PrestoSystem:
-    """Builder + runner for one PRESTO cell over a trace and workload."""
+class PrestoCell:
+    """One proxy and its sensors, built over a (sub-)trace.
+
+    A cell owns its star network, proxy and sensor fleet but *not* the
+    simulator — many cells can share one :class:`Simulator`, which is how
+    the federation harness runs a whole proxy cluster in a single virtual
+    timeline.  Sensor ids are local to the cell (``0 .. trace.n_sensors-1``);
+    any global numbering is the caller's concern.
+    """
 
     def __init__(
         self,
         trace: TraceSet,
-        config: PrestoConfig | None = None,
-        seed: int = 0,
+        config: PrestoConfig,
+        sim: Simulator,
+        streams: RandomStreams,
+        proxy_name: str = "proxy",
         model_clocks: bool = False,
         clock_model: ClockModel | None = None,
-        proxy_name: str = "proxy",
     ) -> None:
         self.trace = trace
-        self.config = config or PrestoConfig(sample_period_s=trace.config.epoch_s)
-        if abs(self.config.sample_period_s - trace.config.epoch_s) > 1e-9:
+        self.config = config
+        if abs(config.sample_period_s - trace.config.epoch_s) > 1e-9:
             raise ValueError(
-                f"config sample period {self.config.sample_period_s} != trace "
+                f"config sample period {config.sample_period_s} != trace "
                 f"epoch {trace.config.epoch_s}"
             )
-        self.streams = RandomStreams(seed=seed)
-        self.sim = Simulator()
-        self.proxy_meter = EnergyMeter("proxy")
+        self.sim = sim
+        self.streams = streams
+        self.proxy_meter = EnergyMeter(proxy_name)
         self.network = Network(
-            sim=self.sim,
-            radio=self.config.node_profile.radio,
-            link_config=self.config.link,
+            sim=sim,
+            radio=config.node_profile.radio,
+            link_config=config.link,
             default_duty_cycle=DutyCycleConfig(
-                check_interval_s=self.config.default_check_interval_s,
-                check_duration_s=self.config.lpl_check_duration_s,
+                check_interval_s=config.default_check_interval_s,
+                check_duration_s=config.lpl_check_duration_s,
             ),
-            rng=self.streams.get("radio.loss"),
+            rng=streams.get("radio.loss"),
         )
         self.proxy = PrestoProxy(
             name=proxy_name,
-            config=self.config,
-            sim=self.sim,
+            config=config,
+            sim=sim,
             network=self.network,
             meter=self.proxy_meter,
             n_sensors=trace.n_sensors,
@@ -185,7 +232,7 @@ class PrestoSystem:
             NetworkNode(proxy_name, self.proxy_meter, on_receive=self.proxy.on_receive)
         )
         self.sensors: list[PrestoSensor] = []
-        clock_rng = self.streams.get("sync.clocks")
+        clock_rng = streams.get("sync.clocks")
         for sensor_id in range(trace.n_sensors):
             name = f"sensor{sensor_id}"
             meter = EnergyMeter(name)
@@ -197,20 +244,20 @@ class PrestoSystem:
             node = NetworkNode(name, meter)
             mac = self.network.register_sensor(node)
             flash = FlashDevice(
-                self.config.node_profile.flash,
+                config.node_profile.flash,
                 meter,
-                capacity_bytes=self.config.flash_capacity_bytes,
+                capacity_bytes=config.flash_capacity_bytes,
             )
             archive = SensorArchive(
                 flash,
-                segment_readings=self.config.segment_readings,
-                aging_policy=AgingPolicy(max_level=self.config.aging_max_level),
-                sample_period_s=self.config.sample_period_s,
+                segment_readings=config.segment_readings,
+                aging_policy=AgingPolicy(max_level=config.aging_max_level),
+                sample_period_s=config.sample_period_s,
             )
             sensor = PrestoSensor(
                 sensor_id=sensor_id,
                 name=name,
-                config=self.config,
+                config=config,
                 network=self.network,
                 mac=mac,
                 meter=meter,
@@ -223,10 +270,12 @@ class PrestoSystem:
             self.proxy.register_sensor(sensor)
         self._epoch = 0
         self._query_log: list[tuple[Query, QueryAnswer]] = []
+        self._tasks: list[PeriodicTask] = []
 
     # -- simulation activities ----------------------------------------------------
 
-    def _sample_all(self) -> None:
+    def sample_all(self) -> None:
+        """Feed the next trace epoch to every sensor."""
         if self._epoch >= self.trace.n_epochs:
             return
         now = self.sim.now
@@ -238,101 +287,74 @@ class PrestoSystem:
             sensor.on_sample(now, float(value))
         self._epoch += 1
 
-    def _account_idle(self) -> None:
+    def account_idle(self) -> None:
+        """Charge one period of bulk idle-listening energy."""
         self.network.account_idle_all(IDLE_ACCOUNTING_PERIOD_S)
 
-    def _refit_all(self) -> None:
+    def refit_all(self) -> None:
+        """Refit and ship models for every sensor."""
         self.proxy.refit_all()
 
-    def _retune_all(self) -> None:
+    def retune_all(self) -> None:
+        """Re-derive operating points for every sensor."""
         for sensor_id in range(self.trace.n_sensors):
             self.proxy.retune_sensor(sensor_id)
 
-    def _run_query(self, query: Query) -> None:
+    def run_query(self, query: Query) -> QueryAnswer:
+        """Process one (cell-local) query and log it for the report."""
         answer = self.proxy.process_query(query)
         self._query_log.append((query, answer))
+        return answer
 
-    # -- ground truth ----------------------------------------------------------------
+    # -- lifecycle ---------------------------------------------------------------
 
-    def _truth_for(self, query: Query) -> float | None:
-        trace = self.trace
-        if query.kind in (QueryKind.NOW, QueryKind.PAST_POINT):
-            target = (
-                query.arrival_time if query.kind is QueryKind.NOW else query.target_time
-            )
-            epoch = trace.epoch_of(min(target, trace.timestamps[-1]))
-            value = trace.values[query.sensor, epoch]
-            return None if np.isnan(value) else float(value)
-        start = query.target_time
-        end = start + query.window_s
-        mask = (trace.timestamps >= start) & (trace.timestamps <= end)
-        window = trace.values[query.sensor, mask]
-        window = window[~np.isnan(window)]
-        if window.size == 0:
-            return None
-        if query.aggregate == "mean":
-            return float(np.mean(window))
-        if query.aggregate == "min":
-            return float(np.min(window))
-        return float(np.max(window))
-
-    # -- main entry ---------------------------------------------------------------------
-
-    def run(
-        self,
-        queries: list[Query] | None = None,
-        duration_s: float | None = None,
-    ) -> SystemReport:
-        """Replay the trace (and queries) and collect the report."""
-        queries = queries or []
-        horizon = duration_s if duration_s is not None else self.trace.config.duration_s
+    def start_tasks(self) -> None:
+        """Arm the cell's periodic activities on the shared simulator."""
         period = self.config.sample_period_s
+        self._tasks = [
+            PeriodicTask(self.sim, period, self.sample_all, start_offset=0.0),
+            PeriodicTask(
+                self.sim,
+                IDLE_ACCOUNTING_PERIOD_S,
+                self.account_idle,
+                start_offset=IDLE_ACCOUNTING_PERIOD_S,
+            ),
+            PeriodicTask(
+                self.sim,
+                self.config.refit_interval_s,
+                self.refit_all,
+                start_offset=self.config.min_training_epochs * period + 1.0,
+            ),
+            PeriodicTask(
+                self.sim,
+                self.config.retune_interval_s,
+                self.retune_all,
+                start_offset=self.config.retune_interval_s,
+            ),
+        ]
+        for task in self._tasks:
+            task.start()
 
-        sampling = PeriodicTask(self.sim, period, self._sample_all, start_offset=0.0)
-        sampling.start()
-        idle = PeriodicTask(
-            self.sim,
-            IDLE_ACCOUNTING_PERIOD_S,
-            self._account_idle,
-            start_offset=IDLE_ACCOUNTING_PERIOD_S,
-        )
-        idle.start()
-        refit = PeriodicTask(
-            self.sim,
-            self.config.refit_interval_s,
-            self._refit_all,
-            start_offset=self.config.min_training_epochs * period + 1.0,
-        )
-        refit.start()
-        retune = PeriodicTask(
-            self.sim,
-            self.config.retune_interval_s,
-            self._retune_all,
-            start_offset=self.config.retune_interval_s,
-        )
-        retune.start()
-        for query in queries:
-            if query.arrival_time < horizon:
-                self.sim.schedule(
-                    query.arrival_time, lambda q=query: self._run_query(q)
-                )
-        self.sim.run_until(horizon)
-        sampling.stop()
-        idle.stop()
-        refit.stop()
-        retune.stop()
-        # account the tail that the hourly task has not covered yet
+    def stop_tasks(self) -> None:
+        """Disarm all periodic activities."""
+        for task in self._tasks:
+            task.stop()
+        self._tasks = []
+
+    def finalise(self, horizon: float) -> None:
+        """Account the idle tail and flush pending sensor batches."""
         remainder = horizon % IDLE_ACCOUNTING_PERIOD_S
         if remainder > 0:
             self.network.account_idle_all(remainder)
         for sensor in self.sensors:
             sensor.flush_batch()
 
-        return self._report(horizon)
+    # -- reporting ----------------------------------------------------------------
 
-    def _report(self, horizon: float) -> SystemReport:
+    def report(self, horizon: float) -> SystemReport:
+        """Assemble the cell's :class:`SystemReport` (local numbering)."""
         answers = [answer for _, answer in self._query_log]
-        truths = [self._truth_for(query) for query, _ in self._query_log]
+        truths = [ground_truth(self.trace, query) for query, _ in self._query_log]
         fleet = EnergyMeter("fleet")
         per_sensor: list[float] = []
         for sensor in self.sensors:
@@ -357,3 +379,93 @@ class PrestoSystem:
             model_refits=self.proxy.engine.refits,
             cache_size=self.proxy.cache.size(),
         )
+
+
+@dataclass
+class CellBuilder:
+    """Reusable recipe for stamping out :class:`PrestoCell` instances.
+
+    The builder carries everything that is common across cells of one
+    deployment (the PRESTO config and clock modelling); :meth:`build` takes
+    what varies per cell — the trace shard, the shared simulator, the cell's
+    own random streams, and the proxy name.
+    """
+
+    config: PrestoConfig | None = None
+    model_clocks: bool = False
+    clock_model: ClockModel | None = field(default=None)
+
+    def resolve_config(self, trace: TraceSet) -> PrestoConfig:
+        """The PRESTO config to use for *trace* (defaults to its epoch)."""
+        return self.config or PrestoConfig(sample_period_s=trace.config.epoch_s)
+
+    def build(
+        self,
+        trace: TraceSet,
+        sim: Simulator,
+        streams: RandomStreams,
+        proxy_name: str = "proxy",
+    ) -> PrestoCell:
+        """Construct one cell over *trace* on the shared *sim*."""
+        return PrestoCell(
+            trace=trace,
+            config=self.resolve_config(trace),
+            sim=sim,
+            streams=streams,
+            proxy_name=proxy_name,
+            model_clocks=self.model_clocks,
+            clock_model=self.clock_model,
+        )
+
+
+class PrestoSystem:
+    """Builder + runner for one PRESTO cell over a trace and workload."""
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        config: PrestoConfig | None = None,
+        seed: int = 0,
+        model_clocks: bool = False,
+        clock_model: ClockModel | None = None,
+        proxy_name: str = "proxy",
+    ) -> None:
+        self.trace = trace
+        self.streams = RandomStreams(seed=seed)
+        self.sim = Simulator()
+        builder = CellBuilder(
+            config=config, model_clocks=model_clocks, clock_model=clock_model
+        )
+        self.cell = builder.build(trace, self.sim, self.streams, proxy_name)
+        self.config = self.cell.config
+        # Aliases kept for every consumer of the pre-federation attribute set.
+        self.proxy_meter = self.cell.proxy_meter
+        self.network = self.cell.network
+        self.proxy = self.cell.proxy
+        self.sensors = self.cell.sensors
+
+    # -- ground truth ----------------------------------------------------------------
+
+    def _truth_for(self, query: Query) -> float | None:
+        return ground_truth(self.trace, query)
+
+    # -- main entry ---------------------------------------------------------------------
+
+    def run(
+        self,
+        queries: list[Query] | None = None,
+        duration_s: float | None = None,
+    ) -> SystemReport:
+        """Replay the trace (and queries) and collect the report."""
+        queries = queries or []
+        horizon = duration_s if duration_s is not None else self.trace.config.duration_s
+        self.cell.start_tasks()
+        for query in queries:
+            if query.arrival_time < horizon:
+                self.sim.schedule(
+                    query.arrival_time, lambda q=query: self.cell.run_query(q)
+                )
+        self.sim.run_until(horizon)
+        self.cell.stop_tasks()
+        self.cell.finalise(horizon)
+        return self.cell.report(horizon)

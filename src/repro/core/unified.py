@@ -14,6 +14,7 @@ well as caches and prediction models at numerous proxies".  The store
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.proxy import PrestoProxy
@@ -140,17 +141,7 @@ class UnifiedStore:
     @staticmethod
     def _rewrite(query: Query, cell: ProxyCell) -> Query:
         """Rewrite a global query into the cell's local sensor numbering."""
-        return Query(
-            query_id=query.query_id,
-            kind=query.kind,
-            sensor=cell.to_local(query.sensor),
-            arrival_time=query.arrival_time,
-            target_time=query.target_time,
-            window_s=query.window_s,
-            precision=query.precision,
-            latency_bound_s=query.latency_bound_s,
-            aggregate=query.aggregate,
-        )
+        return dataclasses.replace(query, sensor=cell.to_local(query.sensor))
 
     # -- ordered cross-proxy view ---------------------------------------------------
 

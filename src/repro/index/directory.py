@@ -38,14 +38,30 @@ class CacheDirectory:
     def register_proxy(
         self, name: str, wired: bool, response_latency_s: float
     ) -> ProxyDescriptor:
-        """Add a proxy to the directory."""
-        if name in self._proxies:
-            raise ValueError(f"duplicate proxy {name!r}")
+        """Add a proxy to the directory.
+
+        A *dead* proxy may re-register under its own name (a replacement node
+        taking over the identity): the stale descriptor is dropped, along
+        with any replica placements other proxies held for it, and a fresh
+        record starts with an empty cache.  Registering a name that is still
+        alive raises.
+        """
+        existing = self._proxies.get(name)
+        if existing is not None:
+            if existing.alive:
+                raise ValueError(f"duplicate proxy {name!r}")
+            self._forget(name)
         descriptor = ProxyDescriptor(
             name=name, wired=wired, response_latency_s=response_latency_s
         )
         self._proxies[name] = descriptor
         return descriptor
+
+    def _forget(self, name: str) -> None:
+        """Drop a descriptor and every replica placement referencing it."""
+        del self._proxies[name]
+        for descriptor in self._proxies.values():
+            descriptor.replicas_of.discard(name)
 
     def publish_cache(self, proxy: str, sensors: set[int]) -> None:
         """Declare that *proxy* caches *sensors*."""

@@ -193,6 +193,19 @@ class SkipGraph:
         exact = node is not None and node.key == key
         return SearchResult(node=node, hops=hops, exact=exact)
 
+    def floor_value(self, key: float) -> tuple[Any, int]:
+        """Value at the floor node for *key* plus hops taken.
+
+        The routing primitive for ownership lookups: proxies insert one node
+        per contiguous key run they own, and ``floor_value(sensor)`` resolves
+        the owner in O(log n) hops.  Raises :class:`KeyError` when *key* is
+        below every inserted key (no owner).
+        """
+        result = self.search(key)
+        if result.node is None:
+            raise KeyError(f"no node with key <= {key}")
+        return result.node.value, result.hops
+
     def range_query(self, start: float, end: float) -> tuple[list[SkipGraphNode], int]:
         """All nodes with keys in ``[start, end]`` plus total hops.
 

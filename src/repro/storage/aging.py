@@ -69,7 +69,6 @@ class AgingPolicy:
         return None
 
     def _coarsen(self, archive: "SensorArchive", record) -> bool:
-        old_bytes = record.stored_bytes()
         old_pages = record.pages
         if record.raw is not None:
             summary = summarize(record.raw, level=1)

@@ -18,6 +18,7 @@ from repro.traces.workload import (
     QueryKind,
     QueryWorkloadConfig,
     QueryWorkloadGenerator,
+    ShardedWorkloadGenerator,
 )
 from repro.traces.io import load_trace_npz, save_trace_npz, load_trace_csv, save_trace_csv
 
@@ -32,6 +33,7 @@ __all__ = [
     "QueryKind",
     "QueryWorkloadConfig",
     "QueryWorkloadGenerator",
+    "ShardedWorkloadGenerator",
     "load_trace_npz",
     "save_trace_npz",
     "load_trace_csv",

@@ -17,6 +17,7 @@ PRESTO exploits) while keeping everything seeded and offline:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -104,8 +105,47 @@ class TraceSet:
 
     def window(self, start_s: float, end_s: float) -> tuple[np.ndarray, np.ndarray]:
         """Timestamps and values (all sensors) within ``[start_s, end_s)``."""
-        mask = (self.timestamps >= start_s) & (self.timestamps < end_s)
-        return self.timestamps[mask], self.values[:, mask]
+        lo = int(np.searchsorted(self.timestamps, start_s, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end_s, side="left"))
+        return self.timestamps[lo:hi], self.values[:, lo:hi]
+
+    def window_slice(self, start_s: float, end_s: float) -> slice:
+        """Epoch index range with ``start_s <= t <= end_s`` (inclusive).
+
+        Timestamps are sorted, so two binary searches replace the boolean
+        mask over the full array that window queries used to recompute.
+        """
+        lo = int(np.searchsorted(self.timestamps, start_s, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end_s, side="right"))
+        return slice(lo, hi)
+
+    def subset(self, sensor_ids: list[int]) -> "TraceSet":
+        """A standalone trace holding only *sensor_ids* (in the given order).
+
+        Used by the federation layer to shard one deployment trace across
+        proxy cells; row ``i`` of the subset is global sensor
+        ``sensor_ids[i]``.  Selecting every sensor in order returns ``self``
+        (no copy), which keeps the one-cell federation bit-identical to the
+        single-cell harness.
+        """
+        ids = [int(s) for s in sensor_ids]
+        if not ids:
+            raise ValueError("empty sensor subset")
+        if any(not 0 <= s < self.n_sensors for s in ids):
+            raise ValueError(f"sensor ids out of range: {ids}")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate sensor ids: {ids}")
+        if ids == list(range(self.n_sensors)):
+            return self
+        rows = np.asarray(ids, dtype=int)
+        config = dataclasses.replace(self.config, n_sensors=len(ids))
+        clean = self.clean_values[rows] if self.clean_values is not None else None
+        return TraceSet(
+            timestamps=self.timestamps,
+            values=self.values[rows],
+            config=config,
+            clean_values=clean,
+        )
 
     def epoch_of(self, timestamp: float) -> int:
         """Index of the epoch containing *timestamp* (clipped to range)."""

@@ -100,6 +100,10 @@ class QueryWorkloadGenerator:
         weights = ranks ** (-self.config.zipf_exponent)
         return weights / weights.sum()
 
+    def _draw_sensor(self, rng: np.random.Generator) -> int:
+        """Pick the target sensor of one query (Zipf over the deployment)."""
+        return int(rng.choice(self.n_sensors, p=self._zipf_weights))
+
     def generate(self, start_s: float, end_s: float) -> list[Query]:
         """All queries arriving in ``[start_s, end_s)``, time-ordered.
 
@@ -132,7 +136,7 @@ class QueryWorkloadGenerator:
             if time >= end_s:
                 break
             kind = kinds[int(rng.choice(len(kinds), p=mix))]
-            sensor = int(rng.choice(self.n_sensors, p=self._zipf_weights))
+            sensor = self._draw_sensor(rng)
             precision = cfg.precision * (
                 1.0 + cfg.precision_jitter * float(rng.uniform(-1.0, 1.0))
             )
@@ -163,3 +167,54 @@ class QueryWorkloadGenerator:
             )
             query_id += 1
         return queries
+
+
+class ShardedWorkloadGenerator(QueryWorkloadGenerator):
+    """Query stream over a *federated* deployment, shard-aware.
+
+    The single-cell generator's global Zipf law concentrates almost all
+    queries on the lowest sensor ids, which under contiguous sharding means
+    one proxy sees all the traffic and the rest idle.  This generator picks
+    a shard first (uniformly, or by ``shard_weights`` to model hot cells),
+    then a sensor within the shard by the Zipf law — every proxy's sensors
+    are targeted, which is what multi-cell routing and failover experiments
+    need.  Sensor ids in the emitted queries are the *global* ids listed in
+    ``shards``.
+    """
+
+    def __init__(
+        self,
+        shards: list[list[int]],
+        config: QueryWorkloadConfig | None = None,
+        rng: np.random.Generator | None = None,
+        shard_weights: list[float] | None = None,
+    ) -> None:
+        if not shards or any(not shard for shard in shards):
+            raise ValueError("need at least one sensor per shard")
+        flat = [sensor for shard in shards for sensor in shard]
+        if len(set(flat)) != len(flat):
+            raise ValueError("shards must be disjoint")
+        super().__init__(n_sensors=len(flat), config=config, rng=rng)
+        self._shards = [list(shard) for shard in shards]
+        if shard_weights is None:
+            weights = np.full(len(shards), 1.0 / len(shards))
+        else:
+            if len(shard_weights) != len(shards):
+                raise ValueError("one weight per shard required")
+            weights = np.asarray(shard_weights, dtype=np.float64)
+            if (weights < 0).any() or weights.sum() <= 0:
+                raise ValueError("shard weights must be non-negative, sum > 0")
+            weights = weights / weights.sum()
+        self._shard_weights = weights
+        exponent = self.config.zipf_exponent
+        self._within: list[np.ndarray] = []
+        for shard in self._shards:
+            ranks = np.arange(1, len(shard) + 1, dtype=np.float64)
+            zipf = ranks ** (-exponent)
+            self._within.append(zipf / zipf.sum())
+
+    def _draw_sensor(self, rng: np.random.Generator) -> int:
+        """Shard by weight, then Zipf rank within the shard."""
+        shard = int(rng.choice(len(self._shards), p=self._shard_weights))
+        rank = int(rng.choice(len(self._shards[shard]), p=self._within[shard]))
+        return int(self._shards[shard][rank])

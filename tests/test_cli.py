@@ -20,6 +20,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--model", "lstm"])
 
+    def test_federation_flags(self):
+        args = build_parser().parse_args(
+            ["federation", "--proxies", "3", "--shard-policy", "round_robin",
+             "--replication-factor", "2"]
+        )
+        assert args.proxies == 3
+        assert args.shard_policy == "round_robin"
+        assert args.replication_factor == 2
+        assert args.kill_proxy is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["federation", "--shard-policy", "hash"])
+
 
 class TestCommands:
     def test_figure2_prints_series(self, capsys):
@@ -41,3 +53,13 @@ class TestCommands:
         output = capsys.readouterr().out
         for kind in ("arima", "ar", "seasonal", "markov"):
             assert kind in output
+
+    def test_federation_prints_cluster_report(self, capsys):
+        assert main(
+            ["federation", "--sensors", "4", "--days", "0.5", "--proxies", "2",
+             "--kill-proxy", "proxy1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "replication plan" in output
+        assert "mean_routing_hops" in output
+        assert "wireless" in output

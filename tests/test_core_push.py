@@ -10,7 +10,6 @@ from repro.core.push import (
     SensorModelChecker,
     verify_replicas_in_sync,
 )
-from repro.timeseries.ar import ARModel
 from repro.timeseries.arima import ARIMAModel
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the unified logical store across proxies."""
 
-import numpy as np
 import pytest
 
 from repro.core import PrestoConfig, PrestoSystem

@@ -80,3 +80,70 @@ class TestServing:
         candidates = directory.serving_candidates(1)
         latencies = [c.response_latency_s for c in candidates]
         assert latencies == sorted(latencies)
+
+
+class TestFailurePaths:
+    def test_death_falls_back_to_live_replica(self, directory):
+        directory.plan_replication()
+        directory.mark_down("wifi1")
+        fallback = directory.best_server(4)
+        assert fallback is not None
+        assert fallback.name != "wifi1"
+        assert "wifi1" in fallback.replicas_of
+        # and the replica chain dies with the replica host
+        directory.mark_down(fallback.name)
+        assert directory.best_server(4) is None
+
+    def test_multiple_replicas_best_latency_wins(self):
+        d = CacheDirectory(replication_factor=2)
+        d.register_proxy("wired0", wired=True, response_latency_s=0.01)
+        d.register_proxy("wired1", wired=True, response_latency_s=0.02)
+        d.register_proxy("wifi0", wired=False, response_latency_s=0.3)
+        d.publish_cache("wifi0", {1})
+        d.plan_replication()
+        d.mark_down("wifi0")
+        assert d.best_server(1).name == "wired0"
+        d.mark_down("wired0")
+        assert d.best_server(1).name == "wired1"
+
+    def test_zero_replication_means_no_failover(self):
+        d = CacheDirectory(replication_factor=0)
+        d.register_proxy("wired0", wired=True, response_latency_s=0.01)
+        d.register_proxy("wifi0", wired=False, response_latency_s=0.3)
+        d.publish_cache("wifi0", {1, 2})
+        assert d.plan_replication() == {"wifi0": []}
+        d.mark_down("wifi0")
+        assert d.best_server(1) is None
+        assert d.serving_candidates(2) == []
+
+    def test_reregistration_after_death(self, directory):
+        directory.plan_replication()
+        directory.mark_down("wifi0")
+        fresh = directory.register_proxy("wifi0", wired=False,
+                                         response_latency_s=0.2)
+        assert fresh.alive
+        assert fresh.cached_sensors == set()  # fresh identity, empty cache
+        # stale replica placements for the old incarnation were dropped
+        for descriptor in directory.proxies:
+            if descriptor.name != "wifi0":
+                assert "wifi0" not in descriptor.replicas_of
+        # until it republishes and replication is replanned, nobody serves it
+        assert directory.best_server(1) is None
+        directory.publish_cache("wifi0", {1, 2, 3})
+        directory.plan_replication()
+        assert directory.best_server(1) is not None
+
+    def test_reregistration_of_live_proxy_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.register_proxy("wifi0", wired=False,
+                                     response_latency_s=0.2)
+
+    def test_dead_wired_not_a_replication_target(self):
+        d = CacheDirectory(replication_factor=1)
+        d.register_proxy("wired0", wired=True, response_latency_s=0.01)
+        d.register_proxy("wired1", wired=True, response_latency_s=0.05)
+        d.register_proxy("wifi0", wired=False, response_latency_s=0.3)
+        d.publish_cache("wifi0", {1})
+        d.mark_down("wired0")
+        plan = d.plan_replication()
+        assert plan == {"wifi0": ["wired1"]}

@@ -37,6 +37,12 @@ class TestExamples:
         assert "ordering errors after proxy sync correction: 0" in output
         assert "recovered trajectories" in output
 
+    def test_campus_federation(self, capsys):
+        output = run_example("campus_federation", capsys)
+        assert "replication plan" in output
+        assert "mesh outage" in output
+        assert "answered from the wired replica" in output
+
     @pytest.mark.slow
     def test_building_monitoring(self, capsys):
         output = run_example("building_monitoring", capsys)

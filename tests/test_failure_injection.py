@@ -6,7 +6,6 @@ assert the documented degradation (never a crash, never silent corruption).
 """
 
 import numpy as np
-import pytest
 
 from repro.core import PrestoConfig, PrestoSystem
 from repro.core.queries import AnswerSource
@@ -76,7 +75,6 @@ class TestSensingDropouts:
         """20% sensing dropouts: the missed-sample path must keep the
         sensor's checker aligned with the proxy's tracker."""
         system, report = run_system(dropout=0.2, queries=False)
-        period = system.config.sample_period_s
         for sensor in system.sensors:
             state = system.proxy._states[sensor.sensor_id]
             if sensor.checker is None or state.tracker is None:

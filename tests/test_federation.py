@@ -1,0 +1,379 @@
+"""Tests for the directory-routed multi-proxy federation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FederatedSystem,
+    FederationConfig,
+    PrestoConfig,
+    PrestoSystem,
+    partition_sensors,
+)
+from repro.core.queries import AnswerSource
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import (
+    QueryWorkloadConfig,
+    QueryWorkloadGenerator,
+    ShardedWorkloadGenerator,
+)
+
+HALF_DAY_S = 0.5 * 86_400.0
+
+
+def fast_config():
+    return PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=3 * 3600.0,
+        min_training_epochs=128,
+    )
+
+
+def make_trace(n_sensors=8, duration_s=HALF_DAY_S, seed=7):
+    config = IntelLabConfig(
+        n_sensors=n_sensors, duration_s=duration_s, epoch_s=31.0
+    )
+    return IntelLabGenerator(config, seed=seed).generate()
+
+
+class TestPartition:
+    @pytest.mark.parametrize("policy", ["contiguous", "round_robin", "balanced"])
+    def test_covers_all_sensors_disjointly(self, policy):
+        trace = make_trace(n_sensors=10, duration_s=3600.0)
+        shards = partition_sensors(trace, 3, policy)
+        flat = sorted(s for shard in shards for s in shard)
+        assert flat == list(range(10))
+        assert all(shard == sorted(shard) for shard in shards)
+
+    def test_contiguous_is_contiguous(self):
+        trace = make_trace(n_sensors=9, duration_s=3600.0)
+        shards = partition_sensors(trace, 3, "contiguous")
+        for shard in shards:
+            assert shard == list(range(shard[0], shard[-1] + 1))
+
+    def test_round_robin_interleaves(self):
+        trace = make_trace(n_sensors=6, duration_s=3600.0)
+        shards = partition_sensors(trace, 2, "round_robin")
+        assert shards == [[0, 2, 4], [1, 3, 5]]
+
+    def test_balanced_spreads_variance(self):
+        trace = make_trace(n_sensors=8, duration_s=3600.0)
+        shards = partition_sensors(trace, 4, "balanced")
+        variance = np.nan_to_num(np.nanvar(trace.values, axis=1), nan=0.0)
+        loads = [sum(variance[s] for s in shard) for shard in shards]
+        # greedy packing: heaviest shard within 2x of the lightest
+        assert max(loads) < 2.0 * min(loads) + 1e-9
+
+    def test_single_proxy_gets_everything(self):
+        trace = make_trace(n_sensors=5, duration_s=3600.0)
+        for policy in ("contiguous", "round_robin", "balanced"):
+            assert partition_sensors(trace, 1, policy) == [list(range(5))]
+
+    def test_more_proxies_than_sensors_rejected(self):
+        trace = make_trace(n_sensors=2, duration_s=3600.0)
+        with pytest.raises(ValueError):
+            partition_sensors(trace, 3, "contiguous")
+
+
+class TestFederationConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FederationConfig(shard_policy="random")
+
+    def test_rejects_zero_proxies(self):
+        with pytest.raises(ValueError):
+            FederationConfig(n_proxies=0)
+
+    def test_always_at_least_one_wired(self):
+        assert FederationConfig(n_proxies=1, wired_fraction=0.0).n_wired == 1
+        assert FederationConfig(n_proxies=4, wired_fraction=0.5).n_wired == 2
+
+
+@pytest.fixture(scope="module")
+def equivalence_runs():
+    """The same trace + queries through both harnesses, single proxy."""
+    trace = make_trace(n_sensors=4, seed=7)
+    config = fast_config()
+
+    def queries():
+        workload = QueryWorkloadGenerator(
+            trace.n_sensors,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 900.0),
+            np.random.default_rng(7),
+        )
+        return workload.generate(0.0, trace.config.duration_s)
+
+    single = PrestoSystem(trace, config, seed=9).run(queries=queries())
+    federated = FederatedSystem(
+        trace, config, FederationConfig(n_proxies=1), seed=9
+    ).run(queries=queries())
+    return single, federated
+
+
+class TestSingleProxyEquivalence:
+    """Acceptance: n_proxies=1 reproduces the single-cell system exactly."""
+
+    def test_same_energy(self, equivalence_runs):
+        single, federated = equivalence_runs
+        assert federated.sensor_energy_j == pytest.approx(
+            single.sensor_energy_j, rel=1e-12
+        )
+        assert federated.per_sensor_energy_j == pytest.approx(
+            single.per_sensor_energy_j, rel=1e-12
+        )
+
+    def test_same_traffic(self, equivalence_runs):
+        single, federated = equivalence_runs
+        assert federated.pushes == single.pushes
+        assert federated.cold_pushes == single.cold_pushes
+        assert federated.packets_sent == single.packets_sent
+
+    def test_same_answers_and_latency(self, equivalence_runs):
+        single, federated = equivalence_runs
+        assert [a.value for a in federated.answers] == [
+            a.value for a in single.answers
+        ]
+        assert federated.mean_latency_s == pytest.approx(
+            single.mean_latency_s, rel=1e-12
+        )
+
+    def test_same_error(self, equivalence_runs):
+        single, federated = equivalence_runs
+        assert federated.mean_error == pytest.approx(single.mean_error, rel=1e-12)
+
+    def test_no_routing_cost_with_one_proxy(self, equivalence_runs):
+        _, federated = equivalence_runs
+        assert federated.cross_proxy_hops == 0
+        assert federated.failovers == 0
+
+
+@pytest.fixture(scope="module")
+def federated_run():
+    """4 proxies (2 wired / 2 wireless), rf=1, wireless proxy3 killed at 60%."""
+    trace = make_trace(n_sensors=8, seed=7)
+    system = FederatedSystem(
+        trace,
+        fast_config(),
+        FederationConfig(
+            n_proxies=4, shard_policy="contiguous", replication_factor=1
+        ),
+        seed=9,
+    )
+    workload = ShardedWorkloadGenerator(
+        system.shards,
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 300.0),
+        np.random.default_rng(7),
+    )
+    queries = workload.generate(3600.0, trace.config.duration_s)
+    kill_at = 0.6 * trace.config.duration_s
+    system.schedule_failure("proxy3", kill_at)
+    report = system.run(queries=queries)
+    return system, report, kill_at
+
+
+class TestRouting:
+    def test_skipgraph_resolves_every_owner(self, federated_run):
+        system, _, _ = federated_run
+        for fc in system.cells:
+            for sensor in fc.sensor_ids:
+                assert system.owner_of(sensor) == fc.name
+
+    def test_round_robin_ownership(self):
+        trace = make_trace(n_sensors=6, duration_s=3600.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(n_proxies=3, shard_policy="round_robin"),
+            seed=1,
+        )
+        assert [system.owner_of(s) for s in range(6)] == [
+            "proxy0", "proxy1", "proxy2", "proxy0", "proxy1", "proxy2",
+        ]
+
+    def test_hops_counted_and_charged(self, federated_run):
+        system, report, _ = federated_run
+        assert report.cross_proxy_hops > 0
+        assert report.mean_routing_hops > 0
+        hop = system.federation.hop_latency_s
+        slowest = max(a.latency_s for a in report.answers)
+        assert slowest >= hop  # at least one answer paid routing latency
+
+    def test_out_of_range_sensor_unroutable(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        system = FederatedSystem(
+            trace, fast_config(), FederationConfig(n_proxies=2), seed=1
+        )
+        from repro.traces.workload import Query, QueryKind
+
+        answer = system.route_query(
+            Query(0, QueryKind.NOW, 99, 10.0, 10.0, precision=0.5)
+        )
+        assert answer.source is AnswerSource.FAILED
+        assert system.unroutable == 1
+
+
+class TestFailover:
+    def test_wireless_replicated_on_wired(self, federated_run):
+        system, _, _ = federated_run
+        plan = system.replication_plan
+        assert set(plan) == {"proxy2", "proxy3"}
+        for targets in plan.values():
+            assert len(targets) == 1
+            assert system.cell_for(targets[0]).wired
+
+    def test_replicas_synced_before_failure(self, federated_run):
+        system, report, _ = federated_run
+        assert report.replica_syncs > 0
+        host = system.replication_plan["proxy3"][0]
+        replica = system.replica_for(host, "proxy3")
+        assert set(replica.sensors) == set(system.cell_for("proxy3").sensor_ids)
+        for state in replica.sensors.values():
+            assert state.entries
+
+    def test_dead_shard_keeps_answering(self, federated_run):
+        system, report, kill_at = federated_run
+        dead = set(system.cell_for("proxy3").sensor_ids)
+        post = [
+            a
+            for a in report.answers
+            if a.query.sensor in dead and a.query.arrival_time > kill_at
+        ]
+        assert post, "workload must target the dead shard after the kill"
+        assert report.failovers == len(post)
+        assert report.replica_hits > 0
+        assert any(a.answered for a in post)
+
+    def test_live_shards_unaffected(self, federated_run):
+        system, report, kill_at = federated_run
+        dead = set(system.cell_for("proxy3").sensor_ids)
+        live = [a for a in report.answers if a.query.sensor not in dead]
+        assert np.mean([a.answered for a in live]) > 0.95
+
+    def test_no_replication_means_dark_shard(self):
+        trace = make_trace(n_sensors=6, duration_s=0.3 * 86_400.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(
+                n_proxies=3, shard_policy="contiguous", replication_factor=0
+            ),
+            seed=3,
+        )
+        workload = ShardedWorkloadGenerator(
+            system.shards,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 400.0),
+            np.random.default_rng(3),
+        )
+        queries = workload.generate(3600.0, trace.config.duration_s)
+        kill_at = 0.5 * trace.config.duration_s
+        system.schedule_failure("proxy2", kill_at)
+        report = system.run(queries=queries)
+        dead = set(system.cell_for("proxy2").sensor_ids)
+        post = [
+            a
+            for a in report.answers
+            if a.query.sensor in dead and a.query.arrival_time > kill_at
+        ]
+        assert post
+        assert all(not a.answered for a in post)
+        assert report.unroutable == len(post)
+
+    def test_recovery_restores_primary(self, federated_run):
+        system, _, _ = federated_run
+        system.recover_proxy("proxy3")
+        assert system.directory.proxy("proxy3").alive
+
+
+class TestFederatedReport:
+    def test_aggregates_cells(self, federated_run):
+        _, report, _ = federated_run
+        assert len(report.cell_reports) == 4
+        assert report.sensor_energy_j == pytest.approx(
+            sum(r.sensor_energy_j for r in report.cell_reports)
+        )
+        assert report.pushes == sum(r.pushes for r in report.cell_reports)
+        assert report.n_sensors == 8
+        assert len(report.per_sensor_energy_j) == 8
+
+    def test_per_sensor_energy_in_global_order(self, federated_run):
+        system, report, _ = federated_run
+        for fc, cell_report in zip(system.cells, report.cell_reports):
+            for local, global_id in enumerate(fc.sensor_ids):
+                assert report.per_sensor_energy_j[global_id] == pytest.approx(
+                    cell_report.per_sensor_energy_j[local]
+                )
+
+    def test_summary_has_routing_metrics(self, federated_run):
+        _, report, _ = federated_run
+        summary = report.summary()
+        for key in ("n_proxies", "mean_routing_hops", "replica_hit_rate",
+                    "failovers", "unroutable"):
+            assert key in summary
+
+
+class TestShardedWorkload:
+    def test_targets_every_shard(self):
+        shards = [[0, 1, 2], [3, 4], [5, 6, 7]]
+        generator = ShardedWorkloadGenerator(
+            shards,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 30.0),
+            np.random.default_rng(5),
+        )
+        queries = generator.generate(0.0, 86_400.0)
+        hit = {k for k, shard in enumerate(shards)
+               for q in queries if q.sensor in shard}
+        assert hit == {0, 1, 2}
+
+    def test_emits_global_ids_only(self):
+        shards = [[2, 5], [7, 9]]
+        generator = ShardedWorkloadGenerator(
+            shards,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 60.0),
+            np.random.default_rng(5),
+        )
+        queries = generator.generate(0.0, 8 * 3600.0)
+        assert queries
+        assert {q.sensor for q in queries} <= {2, 5, 7, 9}
+
+    def test_shard_weights_skew_traffic(self):
+        shards = [[0], [1]]
+        generator = ShardedWorkloadGenerator(
+            shards,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 30.0),
+            np.random.default_rng(5),
+            shard_weights=[0.9, 0.1],
+        )
+        queries = generator.generate(0.0, 86_400.0)
+        hot = sum(1 for q in queries if q.sensor == 0)
+        assert hot / len(queries) > 0.8
+
+    def test_overlapping_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedWorkloadGenerator([[0, 1], [1, 2]])
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedWorkloadGenerator([[0], []])
+
+
+class TestTraceSubset:
+    def test_full_range_returns_self(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        assert trace.subset([0, 1, 2, 3]) is trace
+
+    def test_rows_match_parent(self):
+        trace = make_trace(n_sensors=6, duration_s=3600.0)
+        sub = trace.subset([1, 4])
+        assert sub.n_sensors == 2
+        np.testing.assert_array_equal(sub.values[0], trace.values[1])
+        np.testing.assert_array_equal(sub.values[1], trace.values[4])
+        assert sub.config.n_sensors == 2
+
+    def test_invalid_subsets_rejected(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        with pytest.raises(ValueError):
+            trace.subset([])
+        with pytest.raises(ValueError):
+            trace.subset([0, 0])
+        with pytest.raises(ValueError):
+            trace.subset([0, 9])

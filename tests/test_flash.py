@@ -3,7 +3,6 @@
 import pytest
 
 from repro.energy.constants import MICA2_FLASH
-from repro.energy.meter import EnergyMeter
 from repro.storage.flash import FlashDevice
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.energy.constants import MICA2_PROFILE
-from repro.energy.lifetime import LifetimeEstimate, lifetime_gain, project_lifetime
+from repro.energy.lifetime import lifetime_gain, project_lifetime
 from repro.energy.meter import EnergyMeter
 
 

@@ -1,13 +1,10 @@
 """Unit tests for model selection (AIC/BIC)."""
 
-import math
-
 import numpy as np
 import pytest
 
 from repro.timeseries.ar import ARModel
 from repro.timeseries.markov import MarkovChainModel
-from repro.timeseries.seasonal import SeasonalProfileModel
 from repro.timeseries.selection import (
     aic,
     bic,

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import PrestoConfig, PrestoSystem
-from repro.core.queries import AnswerSource
 from repro.radio.link import LinkConfig
 from repro.sync.clock import ClockModel
-from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 from repro.traces.workload import QueryWorkloadConfig, QueryWorkloadGenerator
 
 
@@ -90,6 +88,28 @@ class TestEndToEnd:
         summary = report.summary()
         for key in ("sensor_energy_j", "mean_latency_s", "success_rate"):
             assert key in summary
+
+
+class TestEmptyReport:
+    def test_no_queries_is_nan_not_perfect(self, small_trace):
+        """A run without queries has no evidence of query success — the
+        derived rates must be NaN, not a perfect 1.0."""
+        config = PrestoConfig(
+            sample_period_s=31.0,
+            refit_interval_s=6 * 3600.0,
+            min_training_epochs=128,
+        )
+        report = PrestoSystem(small_trace, config, seed=11).run(
+            duration_s=2 * 3600.0
+        )
+        assert np.isnan(report.answered_fraction)
+        assert np.isnan(report.success_rate)
+        summary = report.summary()
+        assert np.isnan(summary["answered_fraction"])
+        assert np.isnan(summary["success_rate"])
+        # latency/error defaults stay 0.0 (sums, not rates)
+        assert report.mean_latency_s == 0.0
+        assert report.mean_error == 0.0
 
 
 class TestLossyLinks:
