@@ -1,0 +1,270 @@
+"""Proxy hot-path microbenchmarks: columnar vs list-based summary cache.
+
+Measures the three operations PR 2 vectorized — cache insertion, window
+queries (the ``_answer_past_window`` aggregation) and spatial-refresh
+training-matrix assembly (``_refresh_spatial``) — on both the columnar
+:class:`SummaryCache` and the original :class:`ListSummaryCache`, and
+appends the datapoint to ``BENCH_proxy.json`` at the repo root so the perf
+trajectory is tracked across PRs.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_proxy_hotpath.py            # 50 x 20k
+    PYTHONPATH=src python benchmarks/bench_proxy_hotpath.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_proxy_hotpath.py --check    # assert >= 3x
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cache import (
+    CacheEntry,
+    EntrySource,
+    ListSummaryCache,
+    SummaryCache,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_proxy.json"
+
+#: fraction of entries that are model substitutions (realistic source mix)
+PREDICTED_FRACTION = 0.7
+PERIOD_S = 31.0
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over *repeats* runs of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def make_series(
+    rng: np.random.Generator, n_entries: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One sensor's stream: times, values, stds, sources."""
+    times = np.arange(n_entries, dtype=np.float64) * PERIOD_S
+    values = 20.0 + np.cumsum(rng.normal(0.0, 0.05, n_entries))
+    predicted = rng.random(n_entries) < PREDICTED_FRACTION
+    stds = np.where(predicted, 0.2, 0.0)
+    sources = np.where(
+        predicted, EntrySource.PREDICTED, EntrySource.PUSHED
+    )
+    return times, values, stds, sources
+
+
+def populate_list(
+    cache: ListSummaryCache, sensor: int, series
+) -> None:
+    times, values, stds, sources = series
+    for t, v, s, src in zip(times, values, stds, sources):
+        cache.insert(
+            sensor, CacheEntry(float(t), float(v), float(s), src)
+        )
+
+
+def populate_columnar_batched(
+    cache: SummaryCache, sensor: int, series, batch: int = 256
+) -> None:
+    times, values, stds, sources = series
+    # split the stream at source boundaries within fixed-size batches, as
+    # _handle_batch does (one provenance per wire batch)
+    for lo in range(0, times.size, batch):
+        hi = min(lo + batch, times.size)
+        chunk = slice(lo, hi)
+        predicted = sources[chunk] == EntrySource.PREDICTED
+        for mask, source in ((predicted, EntrySource.PREDICTED), (~predicted, EntrySource.PUSHED)):
+            if mask.any():
+                cache.insert_batch(
+                    sensor,
+                    times[chunk][mask],
+                    values[chunk][mask],
+                    stds[chunk][mask],
+                    source,
+                )
+
+
+def bench_insert(all_series, n_sensors: int, entries: int, repeats: int) -> dict:
+    def run_list():
+        cache = ListSummaryCache(entries)
+        for sensor in range(n_sensors):
+            populate_list(cache, sensor, all_series[sensor])
+
+    def run_columnar():
+        cache = SummaryCache(entries)
+        for sensor in range(n_sensors):
+            populate_columnar_batched(cache, sensor, all_series[sensor])
+
+    total = n_sensors * entries
+    list_s = _best_of(repeats, run_list)
+    columnar_s = _best_of(repeats, run_columnar)
+    return {
+        "list_entries_per_s": total / list_s,
+        "columnar_entries_per_s": total / columnar_s,
+        "speedup": list_s / columnar_s,
+    }
+
+
+def bench_window_query(
+    list_cache, columnar_cache, rng, n_sensors: int, entries: int, repeats: int
+) -> dict:
+    n_queries = 400
+    horizon = entries * PERIOD_S
+    sensors = rng.integers(0, n_sensors, n_queries)
+    starts = rng.uniform(0.0, horizon * 0.9, n_queries)
+    # window length 5-25% of the retained history, as a deep PAST_AGG sees
+    spans = rng.uniform(0.05, 0.25, n_queries) * horizon
+    windows = list(zip(sensors.tolist(), starts.tolist(), (starts + spans).tolist()))
+    sink: list[float] = []
+
+    def run_list():
+        sink.clear()
+        for sensor, start, end in windows:
+            found = list_cache.entries_in(sensor, start, end)
+            if not found:
+                continue
+            worst_std = max(e.std for e in found)
+            mean = sum(e.value for e in found) / len(found)
+            all_actual = all(e.is_actual for e in found)
+            sink.append(mean + worst_std + all_actual)
+
+    def run_columnar():
+        sink.clear()
+        for sensor, start, end in windows:
+            _, values, stds, codes = columnar_cache.arrays_in(sensor, start, end)
+            if values.size == 0:
+                continue
+            worst_std = float(stds.max())
+            mean = float(values.mean())
+            all_actual = bool((codes != 1).all())
+            sink.append(mean + worst_std + all_actual)
+
+    list_s = _best_of(repeats, run_list)
+    reference = list(sink)
+    columnar_s = _best_of(repeats, run_columnar)
+    assert np.allclose(sink, reference), "window aggregation diverged"
+    return {
+        "list_queries_per_s": n_queries / list_s,
+        "columnar_queries_per_s": n_queries / columnar_s,
+        "speedup": list_s / columnar_s,
+    }
+
+
+def bench_spatial_refresh(
+    list_cache, columnar_cache, n_sensors: int, entries: int, repeats: int
+) -> dict:
+    epochs = min(entries - 1, 1024)
+    start_epoch = max(entries - 1 - epochs, 0)
+    grid = np.arange(start_epoch, start_epoch + epochs, dtype=np.float64) * PERIOD_S
+    out: dict[str, np.ndarray] = {}
+
+    def run_list():
+        matrix = np.full((epochs, n_sensors), np.nan)
+        for sensor in range(n_sensors):
+            for row in range(epochs):
+                entry = list_cache.entry_at(sensor, grid[row], PERIOD_S / 2)
+                if entry is not None:
+                    matrix[row, sensor] = entry.value
+        out["list"] = matrix
+
+    def run_columnar():
+        matrix = np.full((epochs, n_sensors), np.nan)
+        for sensor in range(n_sensors):
+            values, valid = columnar_cache.values_on_grid(sensor, grid, PERIOD_S / 2)
+            matrix[valid, sensor] = values[valid]
+        out["columnar"] = matrix
+
+    list_s = _best_of(repeats, run_list)
+    columnar_s = _best_of(repeats, run_columnar)
+    assert np.allclose(
+        out["list"], out["columnar"], equal_nan=True
+    ), "training matrices diverged"
+    cells = epochs * n_sensors
+    return {
+        "list_cells_per_s": cells / list_s,
+        "columnar_cells_per_s": cells / columnar_s,
+        "speedup": list_s / columnar_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (8 sensors x 2k entries)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless window-query and spatial-refresh hit >= 3x",
+    )
+    parser.add_argument("--out", type=Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    n_sensors, entries, repeats = (8, 2_000, 2) if args.smoke else (50, 20_000, 3)
+    rng = np.random.default_rng(0)
+    all_series = [make_series(rng, entries) for _ in range(n_sensors)]
+
+    list_cache = ListSummaryCache(entries)
+    columnar_cache = SummaryCache(entries)
+    for sensor in range(n_sensors):
+        populate_list(list_cache, sensor, all_series[sensor])
+        populate_columnar_batched(columnar_cache, sensor, all_series[sensor])
+
+    results = {
+        "insert": bench_insert(all_series, n_sensors, entries, repeats),
+        "window_query": bench_window_query(
+            list_cache, columnar_cache, rng, n_sensors, entries, repeats
+        ),
+        "spatial_refresh": bench_spatial_refresh(
+            list_cache, columnar_cache, n_sensors, entries, repeats
+        ),
+    }
+
+    print(f"proxy hot path — {n_sensors} sensors x {entries} entries")
+    for name, row in results.items():
+        metrics = "  ".join(
+            f"{key}={value:,.0f}" for key, value in row.items() if key != "speedup"
+        )
+        print(f"  {name:16s} {metrics}  speedup={row['speedup']:.1f}x")
+
+    record = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": "smoke" if args.smoke else "full",
+        "n_sensors": n_sensors,
+        "entries_per_sensor": entries,
+        "results": results,
+    }
+    history = []
+    if args.out.exists():
+        history = json.loads(args.out.read_text()).get("history", [])
+    history.append(record)
+    args.out.write_text(
+        json.dumps({"benchmark": "proxy_hotpath", "history": history}, indent=2)
+        + "\n"
+    )
+    print(f"recorded -> {args.out}")
+
+    if args.check:
+        failed = [
+            name
+            for name in ("window_query", "spatial_refresh")
+            if results[name]["speedup"] < 3.0
+        ]
+        if failed:
+            print(f"FAIL: below 3x speedup: {', '.join(failed)}")
+            return 1
+        print("PASS: window-query and spatial-refresh >= 3x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

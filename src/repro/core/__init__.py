@@ -20,7 +20,13 @@ The pieces map one-to-one onto the architecture of Figure 1:
 
 from repro.core.config import FederationConfig, PrestoConfig
 from repro.core.queries import AnswerSource, QueryAnswer
-from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.cache import (
+    CacheEntry,
+    CacheSnapshot,
+    EntrySource,
+    ListSummaryCache,
+    SummaryCache,
+)
 from repro.core.continuous import (
     ContinuousQuery,
     ContinuousQueryEngine,
@@ -47,7 +53,9 @@ __all__ = [
     "AnswerSource",
     "QueryAnswer",
     "CacheEntry",
+    "CacheSnapshot",
     "EntrySource",
+    "ListSummaryCache",
     "SummaryCache",
     "ContinuousQuery",
     "ContinuousQueryEngine",

@@ -85,6 +85,22 @@ class ContinuousQueryEngine:
         """Currently armed queries."""
         return list(self._queries.values())
 
+    def armed_for(self, sensor: int) -> bool:
+        """Whether any standing query watches *sensor*.
+
+        Cheap guard for batched cache inserts: when nothing is armed the
+        proxy may skip per-entry evaluation entirely.
+        """
+        return any(q.sensor == sensor for q in self._queries.values())
+
+    def note_value(self, sensor: int, value: float) -> None:
+        """Record the sensor's newest value without evaluating queries.
+
+        Keeps delta-trigger history warm across batched inserts that were
+        not individually evaluated (no queries were armed at the time).
+        """
+        self._last_value[(sensor, 0)] = value
+
     def tightest_threshold_gap(self, sensor: int, current_value: float) -> float | None:
         """Distance from *current_value* to the nearest armed threshold.
 

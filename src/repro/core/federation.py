@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cache import CacheEntry
+from repro.core.cache import CacheSnapshot
 from repro.core.config import FederationConfig, PrestoConfig
 from repro.core.push import ProxyModelTracker
 from repro.core.queries import AnswerSource, QueryAnswer
@@ -122,9 +122,14 @@ class FederatedCell:
 
 @dataclass
 class SensorReplica:
-    """Replicated hot state of one sensor at sync time."""
+    """Replicated hot state of one sensor at sync time.
 
-    entries: list[CacheEntry]
+    ``entries`` is a columnar :class:`CacheSnapshot` — replica queries
+    aggregate over its arrays directly; row iteration stays available for
+    consumers that want :class:`~repro.core.cache.CacheEntry` views.
+    """
+
+    entries: CacheSnapshot
     tracker: ProxyModelTracker | None
     synced_at_s: float
 
@@ -343,11 +348,11 @@ class FederatedSystem:
             fc = self._by_name[owner]
             snapshot: dict[int, SensorReplica] = {}
             for local, global_id in enumerate(fc.sensor_ids):
-                entries, tracker = fc.cell.proxy.export_replica_state(local, hot)
-                if not entries and tracker is None:
+                tail, tracker = fc.cell.proxy.export_replica_state(local, hot)
+                if not tail and tracker is None:
                     continue
                 snapshot[global_id] = SensorReplica(
-                    entries=entries, tracker=tracker, synced_at_s=now
+                    entries=tail, tracker=tracker, synced_at_s=now
                 )
             for replica in live_replicas:
                 replica.sensors.update(snapshot)
@@ -462,38 +467,28 @@ class FederatedSystem:
             staleness = self.config.push_delta * np.sqrt(max(steps, 0) / 3.0)
             return last.value, last.std + staleness, AnswerSource.PREDICTION
         if query.kind is QueryKind.PAST_POINT:
-            target = query.target_time
-            best_entry = None
-            best_gap = period
-            for entry in state.entries:
-                gap = abs(entry.timestamp - target)
-                if gap <= best_gap:
-                    best_gap = gap
-                    best_entry = entry
-            if best_entry is None:
+            position = state.entries.nearest(query.target_time, tolerance_s=period)
+            if position is None:
                 return None
+            best_entry = state.entries[position]
             source = (
                 AnswerSource.CACHE if best_entry.is_actual else AnswerSource.PREDICTION
             )
             return best_entry.value, best_entry.std, source
         start = min(query.target_time, query.arrival_time)
         end = min(start + query.window_s, query.arrival_time)
-        values = [e.value for e in state.entries if start <= e.timestamp <= end]
-        if not values:
+        window = state.entries.window_slice(start, end)
+        data = state.entries.values[window]
+        if data.size == 0:
             return None
-        worst_std = max(
-            e.std for e in state.entries if start <= e.timestamp <= end
-        )
-        data = np.asarray(values, dtype=np.float64)
+        worst_std = float(state.entries.stds[window].max())
         if query.aggregate == "mean":
             value = float(np.mean(data))
         elif query.aggregate == "min":
             value = float(np.min(data))
         else:
             value = float(np.max(data))
-        all_actual = all(
-            e.is_actual for e in state.entries if start <= e.timestamp <= end
-        )
+        all_actual = bool(state.entries.actual_mask()[window].all())
         source = AnswerSource.CACHE if all_actual else AnswerSource.PREDICTION
         return value, worst_std, source
 
@@ -576,6 +571,9 @@ class FederatedSystem:
             ),
             model_refits=sum(r.model_refits for r in cell_reports),
             cache_size=sum(r.cache_size for r in cell_reports),
+            cache_insertions=sum(r.cache_insertions for r in cell_reports),
+            cache_refinements=sum(r.cache_refinements for r in cell_reports),
+            cache_evictions=sum(r.cache_evictions for r in cell_reports),
             n_proxies=self.federation.n_proxies,
             shard_policy=self.federation.shard_policy,
             replication_factor=self.federation.replication_factor,

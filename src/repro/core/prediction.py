@@ -177,9 +177,9 @@ class PredictionEngine:
         for other in range(self.n_sensors):
             if other == sensor:
                 continue
-            entry = cache.entry_at(other, target_time, tolerance_s=tolerance)
-            if entry is not None and entry.is_actual:
-                observed[other] = entry.value
+            value = cache.actual_value_at(other, target_time, tolerance_s=tolerance)
+            if value is not None:
+                observed[other] = value
         if not observed:
             return None
         try:

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.cache import (
+    CacheEntry,
+    CacheSnapshot,
+    EntrySource,
+    PREDICTED_CODE,
+    SummaryCache,
+)
 from repro.core.continuous import ContinuousQueryEngine
 from repro.core.config import PrestoConfig
 from repro.core.matching import QuerySensorMatcher, SensorOperatingPoint
@@ -109,6 +115,35 @@ class PrestoProxy:
         self.cache.insert(sensor, entry)
         self.continuous.on_entry(sensor, entry)
 
+    def _insert_batch(
+        self,
+        sensor: int,
+        times: np.ndarray,
+        values: np.ndarray,
+        std: float,
+        source: EntrySource,
+    ) -> None:
+        """Insert many same-provenance entries, batched when possible.
+
+        With standing queries armed on the sensor each entry must still be
+        evaluated individually (notification order matters); otherwise the
+        whole batch lands in one vectorized cache merge.
+        """
+        if self.continuous.armed_for(sensor):
+            for timestamp, value in zip(times, values):
+                self._insert_entry(
+                    sensor,
+                    CacheEntry(
+                        timestamp=float(timestamp),
+                        value=float(value),
+                        std=std,
+                        source=source,
+                    ),
+                )
+            return
+        self.cache.insert_batch(sensor, times, values, std, source)
+        self.continuous.note_value(sensor, float(values[-1]))
+
     # -- epoch arithmetic ----------------------------------------------------------
 
     def epoch_time(self, epoch: int) -> float:
@@ -169,20 +204,47 @@ class PrestoProxy:
         sensor = int(payload["sensor"])
         state = self._states[sensor]
         quant = float(payload["quant_step"])
-        std = quant / np.sqrt(12.0)  # quantisation noise
-        for timestamp, value in zip(payload["timestamps"], payload["values"]):
-            self._insert_entry(
-                sensor,
-                CacheEntry(
-                    timestamp=float(timestamp),
-                    value=float(value),
-                    std=float(std),
-                    source=EntrySource.PUSHED,
-                ),
-            )
-            epoch = int(round(timestamp / self.config.sample_period_s))
-            state.last_epoch = max(state.last_epoch, epoch)
+        std = float(quant / np.sqrt(12.0))  # quantisation noise
+        times = np.asarray(payload["timestamps"], dtype=np.float64)
+        values = np.asarray(payload["values"], dtype=np.float64)
         state.batches_received += 1
+        if times.size == 0:
+            return
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        sorted_values = values[order]
+        epochs = np.rint(sorted_times / self.config.sample_period_s).astype(np.int64)
+        # With standing queries armed, every entry — silent-epoch
+        # substitution or batched push — must reach the continuous engine
+        # in time order, so the pushes are interleaved into the tracker
+        # loop; otherwise the whole batch lands in one vectorized merge.
+        armed = self.continuous.armed_for(sensor)
+        # A batched reading is a push that arrived late: it must advance the
+        # model tracker exactly as _handle_push would, or the tracker's
+        # stream state desynchronises from last_epoch and every subsequent
+        # apply_push/advance_silent operates on stale model state.
+        for timestamp, epoch, value in zip(sorted_times, epochs, sorted_values):
+            epoch = int(epoch)
+            self._activate_if_due(state, epoch)
+            if state.tracker is None:
+                state.last_epoch = max(state.last_epoch, epoch)
+            elif epoch > state.last_epoch:
+                self._advance_tracker(sensor, state, epoch - 1)
+                state.tracker.apply_push(float(value))
+                state.last_epoch = epoch
+            if armed:
+                self._insert_entry(
+                    sensor,
+                    CacheEntry(
+                        timestamp=float(timestamp),
+                        value=float(value),
+                        std=std,
+                        source=EntrySource.PUSHED,
+                    ),
+                )
+        if not armed:
+            self.cache.insert_batch(sensor, times, values, std, EntrySource.PUSHED)
+            self.continuous.note_value(sensor, float(sorted_values[-1]))
 
     # -- tracker management ---------------------------------------------------------
 
@@ -233,12 +295,12 @@ class PrestoProxy:
 
         Returns True when a model update was shipped and accepted.
         """
-        entries = self.cache.entries_in(sensor, 0.0, self.sim.now)
-        if len(entries) < self.config.min_training_epochs:
+        all_times, all_values, _, _ = self.cache.arrays_in(sensor, 0.0, self.sim.now)
+        if all_times.size < self.config.min_training_epochs:
             return False
-        window = entries[-self.config.training_epochs:]
-        values = np.asarray([e.value for e in window], dtype=np.float64)
-        times = np.asarray([e.timestamp for e in window], dtype=np.float64)
+        window = slice(max(all_times.size - self.config.training_epochs, 0), None)
+        values = np.array(all_values[window])  # own the data: fit outlives the view
+        times = np.array(all_times[window])
         point = self._operating_points.get(sensor)
         delta = point.push_delta if point is not None else self.config.push_delta
         update = self.engine.refit(sensor, values, times, delta=delta)
@@ -282,12 +344,11 @@ class PrestoProxy:
         start_epoch = max(end_epoch - epochs, 0)
         if end_epoch - start_epoch < 64:
             return
-        matrix = np.full((end_epoch - start_epoch, self.n_sensors), np.nan)
+        grid = np.arange(start_epoch, end_epoch, dtype=np.float64) * period
+        matrix = np.full((grid.size, self.n_sensors), np.nan)
         for sensor in range(self.n_sensors):
-            for row, epoch in enumerate(range(start_epoch, end_epoch)):
-                entry = self.cache.entry_at(sensor, self.epoch_time(epoch), period / 2)
-                if entry is not None:
-                    matrix[row, sensor] = entry.value
+            values, valid = self.cache.values_on_grid(sensor, grid, period / 2)
+            matrix[valid, sensor] = values[valid]
         complete = ~np.isnan(matrix).any(axis=1)
         if complete.sum() >= 64:
             self.engine.fit_spatial(matrix[complete])
@@ -422,21 +483,20 @@ class PrestoProxy:
         sensor = query.sensor
         start = min(query.target_time, self.sim.now)
         end = min(start + query.window_s, self.sim.now)
-        entries = self.cache.entries_in(sensor, start, end)
+        times, values, stds, codes = self.cache.arrays_in(sensor, start, end)
         coverage = self.cache.coverage_fraction(
             sensor, start, end, self.config.sample_period_s
         )
-        worst_std = max((e.std for e in entries), default=float("inf"))
+        worst_std = float(stds.max()) if stds.size else float("inf")
         if coverage >= 0.9 and self._confidence_ok(worst_std, query.precision):
-            values = np.asarray([e.value for e in entries], dtype=np.float64)
             value = self._aggregate(values, query.aggregate)
-            all_actual = all(e.is_actual for e in entries)
+            all_actual = bool((codes != PREDICTED_CODE).all())
             return QueryAnswer(
                 query=query,
                 value=value,
                 source=AnswerSource.CACHE if all_actual else AnswerSource.PREDICTION,
                 latency_s=self.config.proxy_processing_s,
-                believed_std=worst_std if entries else 0.0,
+                believed_std=worst_std if times.size else 0.0,
             )
         return self._pull_past(query, start, end, fallback=None)
 
@@ -524,23 +584,20 @@ class PrestoProxy:
                 return self._pull_failed(query, fallback, latency)
             remaining -= chunk
         aged_std = 0.0 if level == 0 else 0.05 * (2.0 ** level)
-        for timestamp, value in zip(times, values):
-            self._insert_entry(
-                query.sensor,
-                CacheEntry(
-                    timestamp=float(timestamp),
-                    value=float(value),
-                    std=aged_std,
-                    source=EntrySource.PULLED,
-                ),
-            )
+        self._insert_batch(
+            query.sensor, times, values, aged_std, EntrySource.PULLED
+        )
         self.pull_stats.bytes_pulled += reply_bytes
         if query.kind is QueryKind.PAST_POINT:
             offset = int(np.argmin(np.abs(times - query.target_time)))
             value = float(values[offset])
         else:
-            mask = (times >= start) & (times <= end)
-            value = self._aggregate(values[mask], query.aggregate)
+            in_window = values[(times >= start) & (times <= end)]
+            if in_window.size == 0:
+                # An aged/coarsened archive reply can retain only timestamps
+                # outside the requested window; degrade, don't crash.
+                return self._pull_failed(query, fallback, latency)
+            value = self._aggregate(in_window, query.aggregate)
         return QueryAnswer(
             query=query,
             value=value,
@@ -583,17 +640,18 @@ class PrestoProxy:
 
     def export_replica_state(
         self, sensor: int, max_entries: int
-    ) -> tuple[list[CacheEntry], ProxyModelTracker | None]:
+    ) -> tuple[CacheSnapshot, ProxyModelTracker | None]:
         """Snapshot one sensor's hot state for replication to another proxy.
 
-        Returns the newest *max_entries* summary-cache entries plus an
-        independent copy of the sensor's model tracker (or None before the
-        first model activates) — the "caches and prediction models ...
-        further replicated at the wired proxies" of Section 5.
+        Returns a columnar snapshot of the newest *max_entries* summary-cache
+        entries (array copies, not per-entry deep copies) plus an independent
+        copy of the sensor's model tracker (or None before the first model
+        activates) — the "caches and prediction models ... further replicated
+        at the wired proxies" of Section 5.
         """
-        entries = self.cache.tail(sensor, max_entries)
+        snapshot = self.cache.tail_snapshot(sensor, max_entries)
         tracker = self._states[sensor].tracker
-        return entries, copy.deepcopy(tracker) if tracker is not None else None
+        return snapshot, copy.deepcopy(tracker) if tracker is not None else None
 
     # -- stats ------------------------------------------------------------------
 

@@ -86,6 +86,9 @@ class SystemReport:
     delivery_ratio: float
     model_refits: int
     cache_size: int
+    cache_insertions: int = 0
+    cache_refinements: int = 0
+    cache_evictions: int = 0
 
     # -- derived metrics ---------------------------------------------------
 
@@ -177,6 +180,9 @@ class SystemReport:
             "pushes": float(self.pushes),
             "pulls": float(self.pulls),
             "delivery_ratio": self.delivery_ratio,
+            "cache_insertions": float(self.cache_insertions),
+            "cache_refinements": float(self.cache_refinements),
+            "cache_evictions": float(self.cache_evictions),
         }
 
 
@@ -378,6 +384,9 @@ class PrestoCell:
             delivery_ratio=self.network.delivery_ratio,
             model_refits=self.proxy.engine.refits,
             cache_size=self.proxy.cache.size(),
+            cache_insertions=self.proxy.cache.insertions,
+            cache_refinements=self.proxy.cache.refinements,
+            cache_evictions=self.proxy.cache.evictions,
         )
 
 

@@ -1,0 +1,139 @@
+"""Property test: the columnar SummaryCache is observationally identical
+to the original list-based implementation.
+
+Drives both implementations through the same randomized operation stream —
+interleaved pushed/predicted/pulled inserts with duplicate timestamps, deep
+backfill and eviction overflow — and asserts every read (``entry_at`` /
+``entries_in`` / ``tail`` / ``latest`` / ``latest_actual`` /
+``coverage_fraction`` / ``size``) and every counter agrees, continuously and
+at the end.  ``insert_batch`` is additionally checked against sequential
+single inserts on the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    CacheEntry,
+    EntrySource,
+    ListSummaryCache,
+    SummaryCache,
+)
+
+SOURCES = (EntrySource.PUSHED, EntrySource.PREDICTED, EntrySource.PULLED)
+PERIOD = 3.0
+
+
+def random_entry(rng: np.random.Generator, step: int) -> CacheEntry:
+    """One randomized entry: mostly in-order, some duplicates and backfill."""
+    roll = rng.random()
+    if roll < 0.6:
+        timestamp = step * PERIOD                      # monotone append
+    elif roll < 0.8:
+        timestamp = float(rng.integers(0, step + 1)) * PERIOD   # backfill / dup
+    else:
+        timestamp = float(rng.integers(0, 2 * step + 2)) * (PERIOD / 2.0)
+    return CacheEntry(
+        timestamp=timestamp,
+        value=float(rng.normal(20.0, 2.0)),
+        std=float(abs(rng.normal(0.0, 0.2))),
+        source=SOURCES[int(rng.integers(0, 3))],
+    )
+
+
+def assert_same_reads(
+    new: SummaryCache, old: ListSummaryCache, rng: np.random.Generator
+) -> None:
+    assert new.size() == old.size()
+    assert sorted(new.sensors) == sorted(old.sensors)
+    for sensor in old.sensors:
+        assert new.size(sensor) == old.size(sensor)
+        assert new.entries_in(sensor, -1.0, 1e12) == old.entries_in(sensor, -1.0, 1e12)
+        assert new.latest(sensor) == old.latest(sensor)
+        assert new.latest_actual(sensor) == old.latest_actual(sensor)
+        for count in (1, 3, 64):
+            assert new.tail(sensor, count) == old.tail(sensor, count)
+        for _ in range(8):
+            probe = float(rng.uniform(-10.0, 2000.0))
+            tolerance = float(rng.uniform(0.1, 3.0 * PERIOD))
+            assert new.entry_at(sensor, probe, tolerance) == old.entry_at(
+                sensor, probe, tolerance
+            ), (sensor, probe, tolerance)
+            lo, hi = sorted(rng.uniform(-10.0, 2000.0, size=2))
+            assert new.entries_in(sensor, lo, hi) == old.entries_in(sensor, lo, hi)
+            assert new.coverage_fraction(sensor, lo, hi, PERIOD) == pytest.approx(
+                old.coverage_fraction(sensor, lo, hi, PERIOD)
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_operation_stream(seed):
+    rng = np.random.default_rng(seed)
+    # small capacity so eviction overflow is exercised constantly
+    new, old = SummaryCache(48), ListSummaryCache(48)
+    for step in range(600):
+        sensor = int(rng.integers(0, 3))
+        entry = random_entry(rng, step)
+        new.insert(sensor, entry)
+        old.insert(sensor, entry)
+        if step % 149 == 0:
+            assert_same_reads(new, old, rng)
+    assert_same_reads(new, old, rng)
+    assert new.insertions == old.insertions
+    assert new.refinements == old.refinements
+    assert new.evictions == old.evictions
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_batch_insert_equals_sequential(seed):
+    """insert_batch ≡ the same cells inserted one by one on the reference."""
+    rng = np.random.default_rng(100 + seed)
+    new, old = SummaryCache(256), ListSummaryCache(256)
+    # pre-populate both with an identical in-order stream
+    for step in range(120):
+        entry = CacheEntry(
+            timestamp=step * PERIOD,
+            value=float(rng.normal(20.0, 2.0)),
+            std=0.1,
+            source=SOURCES[int(rng.integers(0, 3))],
+        )
+        new.insert(0, entry)
+        old.insert(0, entry)
+    for _ in range(20):
+        size = int(rng.integers(1, 24))
+        source = SOURCES[int(rng.integers(0, 3))]
+        # batches mix appends beyond the tail with backfill over the stream
+        timestamps = rng.integers(0, 200, size=size).astype(np.float64) * PERIOD
+        values = rng.normal(20.0, 2.0, size=size)
+        std = float(abs(rng.normal(0.0, 0.1)))
+        new.insert_batch(0, timestamps, values, std, source)
+        for timestamp, value in zip(timestamps, values):
+            old.insert(
+                0,
+                CacheEntry(
+                    timestamp=float(timestamp),
+                    value=float(value),
+                    std=std,
+                    source=source,
+                ),
+            )
+        assert new.entries_in(0, -1.0, 1e12) == old.entries_in(0, -1.0, 1e12)
+    assert_same_reads(new, old, rng)
+    assert new.insertions == old.insertions
+    assert new.refinements == old.refinements
+    assert new.evictions == old.evictions
+
+
+def test_eviction_overflow_equivalence():
+    """Deep overflow with interleaved backfill stays entry-for-entry equal."""
+    rng = np.random.default_rng(7)
+    new, old = SummaryCache(16), ListSummaryCache(16)
+    for step in range(400):
+        entry = random_entry(rng, step)
+        new.insert(1, entry)
+        old.insert(1, entry)
+    assert new.size(1) == old.size(1) == 16
+    assert new.entries_in(1, -1.0, 1e12) == old.entries_in(1, -1.0, 1e12)
+    assert new.evictions == old.evictions

@@ -263,3 +263,166 @@ class TestBatchingMode:
         entry = proxy.cache.entry_at(0, 31.0 * 5, tolerance_s=16.0)
         assert entry is not None
         assert entry.value == pytest.approx(values[5], abs=0.2)
+
+
+class TestBatchTrackerSync:
+    """A batch must advance the model tracker in lockstep with last_epoch."""
+
+    def _activate(self, cell, seed=5):
+        sim, config, _, proxy, sensors = cell
+        rng = np.random.default_rng(seed)
+        values = 20.0 + np.cumsum(rng.normal(0, 0.05, 100))
+        feed(sim, sensors, [values, values])
+        assert proxy.refit_sensor(0)
+        more = values[-1] + np.cumsum(rng.normal(0, 0.05, 40))
+        feed(sim, sensors, [more, more], start_epoch=100)
+        proxy.advance_to_now(0)
+        state = proxy._states[0]
+        assert state.tracker is not None
+        return sim, proxy, state
+
+    def test_batch_applies_pushes_to_tracker(self, cell):
+        sim, proxy, state = self._activate(cell)
+        base = state.last_epoch
+        applied = state.tracker.pushes_applied
+        substituted = state.tracker.substitutions
+        epochs = [base + 1, base + 2, base + 3]
+        proxy._handle_batch(
+            {
+                "sensor": 0,
+                "timestamps": np.asarray([e * 31.0 for e in epochs]),
+                "values": np.asarray([21.0, 21.1, 21.2]),
+                "quant_step": 0.05,
+            }
+        )
+        # last_epoch and the tracker moved together: one apply per epoch,
+        # no phantom gap (the pre-fix code jumped last_epoch and left the
+        # tracker's stream state behind).
+        assert state.last_epoch == base + 3
+        assert state.tracker.pushes_applied == applied + 3
+        assert state.tracker.substitutions == substituted
+        for e in epochs:
+            entry = proxy.cache.entry_at(0, e * 31.0, tolerance_s=1.0)
+            assert entry is not None
+            assert entry.source is EntrySource.PUSHED
+
+    def test_batch_gap_substitutes_silent_epochs(self, cell):
+        sim, proxy, state = self._activate(cell, seed=6)
+        base = state.last_epoch
+        applied = state.tracker.pushes_applied
+        substituted = state.tracker.substitutions
+        epochs = [base + 2, base + 5]  # epochs +1, +3, +4 are silent
+        proxy._handle_batch(
+            {
+                "sensor": 0,
+                "timestamps": np.asarray([e * 31.0 for e in epochs]),
+                "values": np.asarray([21.0, 21.3]),
+                "quant_step": 0.05,
+            }
+        )
+        assert state.last_epoch == base + 5
+        assert state.tracker.pushes_applied == applied + 2
+        assert state.tracker.substitutions == substituted + 3
+        # silent epochs were substituted into the cache as predictions
+        gap_entry = proxy.cache.entry_at(0, (base + 3) * 31.0, tolerance_s=1.0)
+        assert gap_entry is not None
+        assert gap_entry.source is EntrySource.PREDICTED
+
+    def test_armed_continuous_queries_see_time_order(self, cell):
+        from repro.core.continuous import ContinuousQuery, TriggerKind
+
+        sim, proxy, state = self._activate(cell, seed=10)
+        proxy.continuous.register(
+            ContinuousQuery(sensor=0, kind=TriggerKind.DELTA, threshold=1e-6)
+        )
+        base = state.last_epoch
+        epochs = [base + 2, base + 5]  # epochs +1, +3, +4 are substituted
+        proxy._handle_batch(
+            {
+                "sensor": 0,
+                "timestamps": np.asarray([e * 31.0 for e in epochs]),
+                "values": np.asarray([25.0, 27.0]),
+                "quant_step": 0.05,
+            }
+        )
+        fired = [
+            n.timestamp
+            for n in proxy.continuous.notifications
+            if n.timestamp > base * 31.0
+        ]
+        # substitutions and batched pushes reached the engine interleaved
+        # in time order, not predictions-first
+        assert fired == sorted(fired)
+        assert (base + 2) * 31.0 in fired and (base + 5) * 31.0 in fired
+
+    def test_stale_batch_does_not_rewind_tracker(self, cell):
+        sim, proxy, state = self._activate(cell, seed=7)
+        base = state.last_epoch
+        applied = state.tracker.pushes_applied
+        proxy._handle_batch(
+            {
+                "sensor": 0,
+                "timestamps": np.asarray([(base - 2) * 31.0, (base - 1) * 31.0]),
+                "values": np.asarray([20.0, 20.1]),
+                "quant_step": 0.05,
+            }
+        )
+        assert state.last_epoch == base
+        assert state.tracker.pushes_applied == applied
+
+
+class TestPullPastEmptyWindow:
+    """An archive reply with no timestamps inside the window must degrade."""
+
+    def test_aged_reply_outside_window_degrades(self, cell):
+        sim, config, _, proxy, sensors = cell
+        rng = np.random.default_rng(8)
+        values = 20.0 + np.cumsum(rng.normal(0, 0.05, 40))
+        feed(sim, sensors, [values, values])
+        # Coarsened archive retains only timestamps outside the window.
+        sensors[0].serve_pull = lambda start, end: (
+            np.asarray([1.0e7]),
+            np.asarray([21.0]),
+            2,
+            8,
+        )
+        failures_before = proxy.pull_stats.failures
+        # Window reaches past cached history: coverage < 0.9 forces a pull.
+        query = Query(
+            11,
+            QueryKind.PAST_AGG,
+            0,
+            sim.now,
+            38 * 31.0,
+            window_s=10 * 31.0,
+            precision=0.5,
+        )
+        answer = proxy.process_query(query)
+        assert proxy.pull_stats.failures == failures_before + 1
+        assert answer.source is AnswerSource.FAILED
+        assert answer.value is None
+
+    def test_partial_overlap_still_aggregates(self, cell):
+        sim, config, _, proxy, sensors = cell
+        rng = np.random.default_rng(9)
+        values = 20.0 + np.cumsum(rng.normal(0, 0.05, 40))
+        feed(sim, sensors, [values, values])
+        window_start = 38 * 31.0
+        sensors[0].serve_pull = lambda start, end: (
+            np.asarray([1.0e7, window_start + 31.0]),
+            np.asarray([99.0, 21.5]),
+            1,
+            16,
+        )
+        query = Query(
+            12,
+            QueryKind.PAST_AGG,
+            0,
+            sim.now,
+            window_start,
+            window_s=10 * 31.0,
+            precision=0.5,
+        )
+        answer = proxy.process_query(query)
+        assert answer.source is AnswerSource.SENSOR_PULL
+        assert answer.value == pytest.approx(21.5)
