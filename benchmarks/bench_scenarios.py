@@ -1,0 +1,147 @@
+"""Scenario-campaign benchmark: the built-in adverse regimes, both harnesses.
+
+Runs the full built-in scenario library through the
+:class:`~repro.scenarios.runner.CampaignRunner` over the single-cell and
+federated harnesses, prints the consolidated campaign table, persists it
+under ``benchmarks/results/`` and asserts the cross-scenario invariants
+that used to live in bespoke harness code:
+
+* the nominal regime answers essentially everything;
+* a proxy blackout produces failovers on the federated harness only;
+* the event storm's standing queries recall the majority of qualifying
+  injected anomalies (gated at >= 50% so tiny CI draws don't flake;
+  model-driven push catches rare events by construction and full-scale
+  runs recall all of them);
+* sensor energy decreases monotonically along the duty-cycle sweep.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py            # default scale
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.scenarios import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    builtin_scenarios,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent / "results" / "scenario_campaign.txt"
+
+
+def check_invariants(report: CampaignReport) -> list[str]:
+    """Cross-scenario assertions; returns the failures (empty = pass)."""
+    failures: list[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    by_scenario = {name: report.for_scenario(name) for name in report.scenarios()}
+    expect(
+        len(by_scenario) >= 6,
+        f"campaign ran {len(by_scenario)} scenarios, expected >= 6",
+    )
+    for name, results in by_scenario.items():
+        harnesses = {r.harness for r in results}
+        expect(
+            harnesses == {"single", "federated"},
+            f"{name!r} missing a harness: ran {sorted(harnesses)}",
+        )
+
+    for result in by_scenario.get("nominal", []):
+        expect(
+            result.report.answered_fraction > 0.95,
+            f"nominal/{result.harness} answered only "
+            f"{result.report.answered_fraction:.3f}",
+        )
+
+    blackout = {r.harness: r for r in by_scenario.get("proxy blackout", [])}
+    if "federated" in blackout:
+        expect(
+            getattr(blackout["federated"].report, "failovers", 0) > 0,
+            "proxy blackout produced no failovers on the federated harness",
+        )
+    if "single" in blackout:
+        expect(
+            blackout["single"].faults_applied == 0,
+            "proxy faults must be a no-op on the single-cell harness",
+        )
+
+    for result in by_scenario.get("event storm", []):
+        if result.qualifying_events == 0:
+            continue  # tiny draws can qualify nothing; recall is then NaN
+        expect(
+            not math.isnan(result.notification_recall),
+            f"event storm/{result.harness} recall is NaN with "
+            f"{result.qualifying_events} qualifying events",
+        )
+        expect(
+            result.notification_recall >= 0.5,
+            f"event storm/{result.harness} recall "
+            f"{result.notification_recall:.2f} < 0.5",
+        )
+
+    for harness in ("single", "federated"):
+        sweep = [
+            r for r in by_scenario.get("duty-cycle sweep", [])
+            if r.harness == harness
+        ]
+        energies = [r.report.sensor_energy_per_day_j for r in sweep]
+        expect(
+            all(a > b for a, b in zip(energies, energies[1:])),
+            f"duty-cycle sweep energy not decreasing on {harness}: {energies}",
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized campaign (4 sensors x 0.3 days, 2 proxies)",
+    )
+    parser.add_argument("--out", type=Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig.smoke() if args.smoke else CampaignConfig()
+    runner = CampaignRunner(config)
+    started = time.perf_counter()
+    report = runner.run(list(builtin_scenarios().values()))
+    elapsed = time.perf_counter() - started
+
+    title = (
+        f"Scenario campaign ({'smoke' if args.smoke else 'default'} scale): "
+        f"{config.n_sensors} sensors x {config.duration_days:g} days, "
+        f"{config.n_proxies} federated proxies, "
+        f"{len(report.results)} runs in {elapsed:.1f}s"
+    )
+    table = report.to_table()
+    print(title)
+    print(table)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(f"{title}\n\n{table}\n")
+    print(f"recorded -> {args.out}")
+
+    failures = check_invariants(report)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("PASS: campaign invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

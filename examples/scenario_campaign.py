@@ -1,0 +1,62 @@
+"""Scenario campaign: site acceptance before a fleet ships.
+
+Run:  python examples/scenario_campaign.py
+
+Before a PRESTO deployment goes live, the operator wants one answer sheet:
+what happens to query success, accuracy, energy and event notifications
+when the radio turns hostile, a proxy dies, or anomalies arrive in bursts?
+Previously each of those questions meant hand-building a harness; the
+scenario engine makes the whole acceptance campaign declarative — four
+named regimes, both harnesses, one consolidated report.
+"""
+
+from repro.scenarios import CampaignConfig, CampaignRunner, builtin_scenarios
+
+SCENARIOS = ("nominal", "lossy uplink", "proxy blackout", "event storm")
+
+
+def main() -> None:
+    specs = builtin_scenarios()
+    # The smoke sizing is tuned so even this tiny scale draws qualifying
+    # events for the recall story — reuse it rather than restating it.
+    config = CampaignConfig.smoke()
+    runner = CampaignRunner(config)
+    print(
+        f"acceptance campaign: {len(SCENARIOS)} regimes x "
+        f"single-cell + {config.n_proxies}-proxy federation "
+        f"({config.n_sensors} sensors, {config.duration_days:g} days each)\n"
+    )
+    report = runner.run([specs[name] for name in SCENARIOS])
+    print(report.to_table())
+
+    nominal = {r.harness: r.report for r in report.for_scenario("nominal")}
+    lossy = {r.harness: r.report for r in report.for_scenario("lossy uplink")}
+    blackout = {r.harness: r for r in report.for_scenario("proxy blackout")}
+    storm = {r.harness: r for r in report.for_scenario("event storm")}
+
+    print("\nwhat the campaign says:")
+    extra = (
+        lossy["single"].sensor_energy_per_day_j
+        - nominal["single"].sensor_energy_per_day_j
+    )
+    print(
+        f"  * hostile radio costs {extra:+.2f} J/sensor-day in retransmissions "
+        f"(delivery still {lossy['single'].delivery_ratio:.3f})"
+    )
+    fed = blackout["federated"].report
+    print(
+        f"  * killing the wireless proxy mid-run forced {fed.failovers} "
+        f"failovers; the cluster still answered "
+        f"{100 * fed.answered_fraction:.1f}% of all queries"
+    )
+    recall = storm["federated"].notification_recall
+    print(
+        f"  * standing queries caught "
+        f"{100 * recall:.0f}% of qualifying injected anomalies "
+        f"({storm['federated'].notifications} notifications) "
+        f"— pushes surface rare events by construction"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,17 +8,22 @@ Usage::
     python -m repro models     [--days D]
     python -m repro federation [--proxies P] [--shard-policy POLICY]
                                [--replication-factor R] [--kill-proxy NAME]
+    python -m repro scenarios  [--campaign default|smoke] [--scenario NAME]
+                               [--harness both|single|federated] [--list]
 
 ``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
 one PRESTO cell and prints its report; ``models`` compares push suppression
 across every model family on one trace; ``federation`` shards the
 deployment across a directory-routed proxy cluster (optionally killing a
-proxy mid-run to exercise replica failover).
+proxy mid-run to exercise replica failover); ``scenarios`` executes the
+built-in adverse-regime campaign over both harnesses and prints one
+consolidated report.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 
 import numpy as np
 
@@ -35,6 +40,12 @@ from repro.baselines.strategies import (
 )
 from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
 from repro.core.config import SHARD_POLICIES
+from repro.scenarios import (
+    HARNESSES,
+    CampaignConfig,
+    CampaignRunner,
+    builtin_scenarios,
+)
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 from repro.traces.workload import (
     QueryWorkloadConfig,
@@ -201,6 +212,50 @@ def cmd_federation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run a scenario campaign over both harnesses and print its report."""
+    specs = builtin_scenarios()
+    if args.list:
+        for name, spec in specs.items():
+            print(f"{name:20s} {spec.description}")
+        return 0
+    if args.scenario:
+        unknown = [name for name in args.scenario if name not in specs]
+        if unknown:
+            print(f"error: unknown scenarios {unknown}; have {list(specs)}")
+            return 2
+        chosen = [specs[name] for name in args.scenario]
+    else:
+        chosen = list(specs.values())
+    harnesses = HARNESSES if args.harness == "both" else (args.harness,)
+    try:
+        if args.campaign == "smoke":
+            overrides: dict = {"harnesses": harnesses}
+            if args.proxies is not None:
+                overrides["n_proxies"] = args.proxies
+            config = dataclasses.replace(CampaignConfig.smoke(), **overrides)
+        else:
+            config = CampaignConfig(
+                n_sensors=args.sensors,
+                duration_days=args.days,
+                seed=args.seed,
+                harnesses=harnesses,
+                n_proxies=args.proxies if args.proxies is not None else 3,
+            )
+        runner = CampaignRunner(config)
+        report = runner.run(chosen)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    print(
+        f"campaign '{args.campaign}': {len(chosen)} scenarios x "
+        f"{'+'.join(config.harnesses)} — {config.n_sensors} sensors, "
+        f"{config.duration_days:g} days, {config.n_proxies} federated proxies"
+    )
+    print(report.to_table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -214,10 +269,40 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", cmd_run, "model"),
         ("models", cmd_models, None),
         ("federation", cmd_federation, "federation"),
+        ("scenarios", cmd_scenarios, "scenarios"),
     ):
         sub = subparsers.add_parser(name, help=handler.__doc__)
         _add_common(sub)
-        if extra == "model":
+        if extra == "scenarios":
+            sub.set_defaults(sensors=6, days=0.75, seed=7)
+            sub.add_argument(
+                "--campaign",
+                default="default",
+                choices=("default", "smoke"),
+                help="campaign sizing (smoke ignores --sensors/--days/--seed)",
+            )
+            sub.add_argument(
+                "--scenario",
+                action="append",
+                metavar="NAME",
+                help="run only this built-in scenario (repeatable)",
+            )
+            sub.add_argument(
+                "--harness",
+                default="both",
+                choices=("both", "single", "federated"),
+                help="which harness(es) each scenario runs over",
+            )
+            sub.add_argument(
+                "--proxies",
+                type=int,
+                default=None,
+                help="federated proxy count (default 3; smoke default 2)",
+            )
+            sub.add_argument(
+                "--list", action="store_true", help="list built-in scenarios"
+            )
+        elif extra == "model":
             sub.add_argument(
                 "--model",
                 default="arima",

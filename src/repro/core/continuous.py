@@ -16,11 +16,12 @@ prediction — the query-sensor matching rule the NSDI successor ships.
 
 from __future__ import annotations
 
+import bisect
 import enum
 import itertools
 from dataclasses import dataclass, field
 
-from repro.core.cache import CacheEntry
+from repro.core.cache import CacheEntry, EntrySource
 
 _query_ids = itertools.count()
 
@@ -66,10 +67,12 @@ class ContinuousQueryEngine:
 
     def __init__(self) -> None:
         self._queries: dict[int, ContinuousQuery] = {}
-        self._last_value: dict[tuple[int, int], float] = {}
-        self._last_fired: dict[int, float] = {}
+        self._last_value: dict[int, float] = {}
+        self._latest_ts: dict[int, float] = {}
+        self._fired_times: dict[int, list[float]] = {}  # sorted per query
         self.notifications: list[Notification] = []
         self.evaluations = 0
+        self.stale_entries_skipped = 0
 
     def register(self, query: ContinuousQuery) -> int:
         """Arm a standing query; returns its id."""
@@ -93,13 +96,21 @@ class ContinuousQueryEngine:
         """
         return any(q.sensor == sensor for q in self._queries.values())
 
-    def note_value(self, sensor: int, value: float) -> None:
+    def note_value(self, sensor: int, timestamp: float, value: float) -> None:
         """Record the sensor's newest value without evaluating queries.
 
         Keeps delta-trigger history warm across batched inserts that were
         not individually evaluated (no queries were armed at the time).
+        Stale values — a pull backfilling history the engine has already
+        moved past — are ignored, exactly as :meth:`on_entry` ignores
+        them (noted values are always actual readings, so an equal
+        timestamp refines the history just as it would in ``on_entry``).
         """
-        self._last_value[(sensor, 0)] = value
+        latest = self._latest_ts.get(sensor)
+        if latest is not None and timestamp < latest:
+            return
+        self._latest_ts[sensor] = timestamp
+        self._last_value[sensor] = value
 
     def tightest_threshold_gap(self, sensor: int, current_value: float) -> float | None:
         """Distance from *current_value* to the nearest armed threshold.
@@ -119,7 +130,42 @@ class ContinuousQueryEngine:
         return min(gaps) if gaps else None
 
     def on_entry(self, sensor: int, entry: CacheEntry) -> list[Notification]:
-        """Feed one cache update; returns the notifications it fired."""
+        """Feed one cache update; returns the notifications it fired.
+
+        Staleness is decided by provenance, not timestamp alone:
+
+        * **PULLED** entries strictly before the latest evaluated
+          timestamp are proxy-initiated backfills of history the engine
+          has already moved past — they neither fire (their crossing, if
+          any, is stale news) nor clobber the delta-trigger history with
+          an old value, both of which the pre-fix engine did (making
+          DELTA triggers fire spuriously on the next fresh entry).  A
+          pulled *actual* at exactly the latest timestamp is the
+          progressive-refinement path (the pull replacing a prediction
+          for the same instant) and is evaluated like any refinement.
+        * **PREDICTED** entries are proxy-generated and in-order by
+          construction; a duplicate at or before the latest timestamp is
+          redundant and skipped.
+        * **PUSHED** entries are *sensor-initiated* and always evaluated,
+          however late they arrive: a push delayed past a query's silent
+          advance (or a batched reading up to a batch interval old) is
+          fresh information — the event the model failed to predict —
+          and the paper's "rare events are never missed" guarantee
+          forbids dropping it.  Late entries still never rewind the
+          history: ``_last_value`` only advances on monotonically-new
+          timestamps.
+        """
+        latest = self._latest_ts.get(sensor)
+        fresh = latest is None or entry.timestamp > latest
+        refinement = (
+            latest is not None and entry.timestamp == latest and entry.is_actual
+        )
+        late_push = entry.source is EntrySource.PUSHED
+        if not fresh and not refinement and not late_push:
+            self.stale_entries_skipped += 1
+            return []
+        if fresh:
+            self._latest_ts[sensor] = entry.timestamp
         fired: list[Notification] = []
         for query in self._queries.values():
             if query.sensor != sensor:
@@ -127,8 +173,11 @@ class ContinuousQueryEngine:
             self.evaluations += 1
             if not self._matches(query, sensor, entry):
                 continue
-            last = self._last_fired.get(query.query_id)
-            if last is not None and entry.timestamp - last < query.min_interval_s:
+            # Rate limit against the *nearest* prior firing in data time:
+            # late pushes land before earlier firings (and between each
+            # other), so a single forward anchor would let a delayed batch
+            # fire once per entry.  min_interval_s=0 means "every hit".
+            if self._rate_limited(query, entry.timestamp):
                 continue
             notification = Notification(
                 query_id=query.query_id,
@@ -137,19 +186,41 @@ class ContinuousQueryEngine:
                 value=entry.value,
                 from_actual=entry.is_actual,
             )
-            self._last_fired[query.query_id] = entry.timestamp
+            if query.min_interval_s > 0:
+                # Unlimited queries never read the firing history — don't
+                # grow it once per notification for nothing.
+                bisect.insort(
+                    self._fired_times.setdefault(query.query_id, []),
+                    entry.timestamp,
+                )
             self.notifications.append(notification)
             fired.append(notification)
-        key = (sensor, 0)
-        self._last_value[key] = entry.value
+        if fresh or refinement:
+            self._last_value[sensor] = entry.value
         return fired
+
+    def _rate_limited(self, query: ContinuousQuery, timestamp: float) -> bool:
+        """Whether a firing at *timestamp* sits within ``min_interval_s``
+        of the nearest existing firing of the same query."""
+        if query.min_interval_s <= 0:
+            return False
+        times = self._fired_times.get(query.query_id)
+        if not times:
+            return False
+        position = bisect.bisect_left(times, timestamp)
+        gaps = (
+            abs(timestamp - times[neighbour])
+            for neighbour in (position - 1, position)
+            if 0 <= neighbour < len(times)
+        )
+        return min(gaps) < query.min_interval_s
 
     def _matches(self, query: ContinuousQuery, sensor: int, entry: CacheEntry) -> bool:
         if query.kind is TriggerKind.ABOVE:
             return entry.value > query.threshold
         if query.kind is TriggerKind.BELOW:
             return entry.value < query.threshold
-        previous = self._last_value.get((sensor, 0))
+        previous = self._last_value.get(sensor)
         if previous is None:
             return False
         return abs(entry.value - previous) > query.threshold

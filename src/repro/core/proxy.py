@@ -110,6 +110,31 @@ class PrestoProxy:
         """Network name of a sensor."""
         return self._sensors[sensor_id].name
 
+    def _sync_key(self, sensor: int) -> str:
+        """The per-sensor key under which :attr:`sync` files its estimates.
+
+        The push path and both time-frame corrections must key into the
+        same estimate; the fallback covers sensors never registered as
+        objects (pure routing tests).
+        """
+        return self._sensors[sensor].name if sensor in self._sensors else str(sensor)
+
+    def corrected_time(self, sensor: int, timestamp: float) -> float:
+        """Map a sensor-reported timestamp into the proxy's time frame.
+
+        Identity until enough exchanges have been collected to fit the
+        sensor's clock.
+        """
+        return self.sync.correct(self._sync_key(sensor), timestamp)
+
+    def sensor_frame_time(self, sensor: int, timestamp: float) -> float:
+        """Map a proxy-frame instant into *sensor*'s reported time frame.
+
+        Inverse of :meth:`corrected_time` — lets callers translate a query
+        window into the frame the sensor's raw timestamps live in.
+        """
+        return self.sync.project(self._sync_key(sensor), timestamp)
+
     def _insert_entry(self, sensor: int, entry: CacheEntry) -> None:
         """Insert into the cache and evaluate standing queries."""
         self.cache.insert(sensor, entry)
@@ -142,7 +167,8 @@ class PrestoProxy:
                 )
             return
         self.cache.insert_batch(sensor, times, values, std, source)
-        self.continuous.note_value(sensor, float(values[-1]))
+        newest = int(np.argmax(times))
+        self.continuous.note_value(sensor, float(times[newest]), float(values[newest]))
 
     # -- epoch arithmetic ----------------------------------------------------------
 
@@ -171,7 +197,7 @@ class PrestoProxy:
         value = float(payload["value"])
         state = self._states[sensor]
         self.sync.record_exchange(
-            self._sensors[sensor].name if sensor in self._sensors else str(sensor),
+            self._sync_key(sensor),
             proxy_time=self.epoch_time(epoch),
             sensor_local_time=float(payload["local_time"]),
         )
@@ -244,7 +270,9 @@ class PrestoProxy:
                 )
         if not armed:
             self.cache.insert_batch(sensor, times, values, std, EntrySource.PUSHED)
-            self.continuous.note_value(sensor, float(sorted_values[-1]))
+            self.continuous.note_value(
+                sensor, float(sorted_times[-1]), float(sorted_values[-1])
+            )
 
     # -- tracker management ---------------------------------------------------------
 

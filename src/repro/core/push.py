@@ -89,6 +89,18 @@ class SensorModelChecker:
             self.pushes += 1
         return PushDecision(push=push, predicted=predicted, error=error)
 
+    def advance_silent(self) -> float:
+        """Advance one epoch with no reading (sensing dropout).
+
+        The replica observes its own prediction — exactly the proxy
+        tracker's :meth:`ProxyModelTracker.advance_silent` — so a missed
+        sample keeps both sides in lockstep.  Returns the substituted value.
+        """
+        predicted = self._model.predict_next()
+        self._model.observe(predicted)
+        self.checks += 1
+        return predicted
+
     @property
     def push_fraction(self) -> float:
         """Fraction of readings that failed the model so far."""

@@ -130,14 +130,20 @@ class PrestoSensor:
         The model replica must advance exactly once per epoch on both sides,
         so a missed reading is treated as "as predicted": the checker
         observes its own prediction, mirroring the proxy's silent advance.
+        Advancing the model costs the same CPU as verifying a reading, so
+        the check energy is charged here too — dropout does not make the
+        model loop free.
         """
         self.epoch += 1
         self._maybe_activate_model()
         if self.operating_point.batch_interval_s > 0 or self.checker is None:
             return
-        predicted = self.checker._model.predict_next()
-        self.checker._model.observe(predicted)
-        self.checker.checks += 1
+        cpu = self.config.node_profile.cpu
+        self.meter.charge(
+            "cpu.model_check",
+            cpu.energy_for_cycles(max(self.checker.check_cycles, MODEL_CHECK_CYCLES)),
+        )
+        self.checker.advance_silent()
 
     def _maybe_activate_model(self) -> None:
         update = self._pending_update

@@ -29,13 +29,23 @@ HOP_LATENCY_S = 0.002
 
 @dataclass(frozen=True)
 class ProxyCell:
-    """One proxy and the contiguous global sensor range it manages."""
+    """One proxy and the contiguous global sensor range it manages.
+
+    ``sensor_stamped`` declares the time frame of the cell's cached
+    timestamps.  The epoch-driven push protocol stamps entries from the
+    shared epoch counter — already proxy frame, nothing to correct
+    (the default).  Detection-style stores whose motes stamp
+    observations with their own free-running clocks set it True, and
+    :meth:`UnifiedStore.ordered_view` maps those stamps through the
+    proxy's sync estimates before merging.
+    """
 
     proxy: PrestoProxy
     first_sensor: int
     last_sensor: int
     wired: bool = True
     response_latency_s: float = 0.01
+    sensor_stamped: bool = False
 
     def __post_init__(self) -> None:
         if self.last_sensor < self.first_sensor:
@@ -152,18 +162,41 @@ class UnifiedStore:
         tuples of all *actual* cached data across proxies in ``[start, end]``.
 
         This is the "single temporally ordered view of detections across
-        distributed proxies" of Section 5; each proxy corrects its sensors'
-        timestamps with its sync estimates before merging.
+        distributed proxies" of Section 5; each proxy corrects its
+        sensors' timestamps into the proxy frame before merging.  For the
+        epoch-driven push protocol that correction already happened at
+        insert time — entries are stamped from the shared lockstep epoch
+        counter, so their cached timestamps *are* proxy time and are
+        merged as stored.  Cells declared ``sensor_stamped`` hold raw
+        mote-clock stamps instead; those are mapped through the proxy's
+        sync estimates (:meth:`~repro.core.proxy.PrestoProxy.
+        corrected_time` — identity until a clock is fitted), and the
+        cache is scanned over the *image* of ``[start, end]`` in each
+        sensor's own frame, so a detection whose raw stamp sits outside
+        the window but whose corrected instant is inside cannot be
+        missed (and vice versa).
         """
         merged: list[tuple[float, int, float]] = []
         for cell in self._cells.values():
             proxy = cell.proxy
             for local in range(proxy.n_sensors):
                 global_id = cell.first_sensor + local
-                for entry in proxy.cache.entries_in(local, start, end):
+                if cell.sensor_stamped:
+                    lo = proxy.sensor_frame_time(local, start)
+                    hi = proxy.sensor_frame_time(local, end)
+                    if hi < lo:
+                        lo, hi = hi, lo
+                else:
+                    lo, hi = start, end
+                for entry in proxy.cache.entries_in(local, lo, hi):
                     if not entry.is_actual:
                         continue
-                    merged.append((entry.timestamp, global_id, entry.value))
+                    corrected = (
+                        proxy.corrected_time(local, entry.timestamp)
+                        if cell.sensor_stamped
+                        else entry.timestamp
+                    )
+                    merged.append((corrected, global_id, entry.value))
         merged.sort(key=lambda item: (item[0], item[1]))
         return merged
 

@@ -71,6 +71,16 @@ class LplMac:
             check_duration_s=self.duty_cycle.check_duration_s,
         )
 
+    def set_link_config(self, link_config: LinkConfig) -> None:
+        """Swap both directions' link parameters (channel-condition change).
+
+        Used by the scenario engine to model interference bursts: the link
+        objects and their statistics persist, only the loss/retry regime
+        changes from the next transfer on.
+        """
+        self._uplink.config = link_config
+        self._downlink.config = link_config
+
     def send_uplink(
         self, payload_bytes: int, energy_category: str = "radio.tx"
     ) -> TransferOutcome:

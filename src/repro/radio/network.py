@@ -135,6 +135,12 @@ class Network:
         for mac in self._macs.values():
             mac.account_idle(duration_s)
 
+    def set_link_config_all(self, link_config: LinkConfig) -> None:
+        """Apply a new link regime to every sensor's MAC (both directions)."""
+        self.link_config = link_config
+        for mac in self._macs.values():
+            mac.set_link_config(link_config)
+
     @property
     def delivery_ratio(self) -> float:
         """Delivered / sent packets (1.0 when nothing sent)."""

@@ -1,0 +1,45 @@
+"""Declarative scenario campaigns over PRESTO deployments.
+
+The third ROADMAP axis — "handles as many scenarios as you can imagine" —
+as a subsystem instead of bespoke harness code: :class:`ScenarioSpec`
+composes trace perturbations, radio regimes, storage pressure, clock
+storms, standing queries and proxy faults into named adverse regimes;
+:class:`CampaignRunner` executes a matrix of them over the single-cell
+and federated harnesses and consolidates every run into one
+:class:`CampaignReport`.
+"""
+
+from repro.scenarios.library import DEFAULT_CAMPAIGN, builtin_scenarios
+from repro.scenarios.runner import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    HARNESSES,
+    ScenarioResult,
+)
+from repro.scenarios.spec import (
+    ClockRegime,
+    ProxyFault,
+    RadioRegime,
+    ScenarioSpec,
+    StandingQuerySpec,
+    StoragePressure,
+    TracePerturbation,
+)
+
+__all__ = [
+    "DEFAULT_CAMPAIGN",
+    "builtin_scenarios",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "HARNESSES",
+    "ScenarioResult",
+    "ClockRegime",
+    "ProxyFault",
+    "RadioRegime",
+    "ScenarioSpec",
+    "StandingQuerySpec",
+    "StoragePressure",
+    "TracePerturbation",
+]

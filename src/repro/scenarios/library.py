@@ -1,0 +1,95 @@
+"""The built-in scenario library.
+
+Each entry is one question about PRESTO under adversity, previously
+answerable only by hand-building a harness (the failure-injection tests,
+the federation failover benchmark, the duty-cycle sweep each grew their
+own).  ``builtin_scenarios()`` makes every one a one-liner through the
+:class:`~repro.scenarios.runner.CampaignRunner`.
+"""
+
+from __future__ import annotations
+
+from repro.core.continuous import TriggerKind
+from repro.scenarios.spec import (
+    ClockRegime,
+    ProxyFault,
+    RadioRegime,
+    ScenarioSpec,
+    StandingQuerySpec,
+    StoragePressure,
+    TracePerturbation,
+)
+
+#: flash sized at a small fraction of a day's readings — forces aging mid-run
+STARVED_FLASH_BYTES = 40 * 264
+
+
+def builtin_scenarios() -> dict[str, ScenarioSpec]:
+    """Name → spec for every built-in scenario (insertion = campaign order)."""
+    scenarios = (
+        ScenarioSpec(
+            name="nominal",
+            description="clean channel, ample storage — the reference row",
+            radio=RadioRegime(loss_probability=0.05),
+        ),
+        ScenarioSpec(
+            name="lossy uplink",
+            description="35% steady loss with 85% interference bursts",
+            radio=RadioRegime(
+                loss_probability=0.35,
+                burst_loss_probability=0.85,
+                burst_period_s=4 * 3600.0,
+                burst_duration_s=1800.0,
+            ),
+        ),
+        ScenarioSpec(
+            name="storage starvation",
+            description="tiny flash + aggressive aging floor",
+            storage=StoragePressure(
+                flash_capacity_bytes=STARVED_FLASH_BYTES,
+                segment_readings=256,
+                aging_max_level=2,
+            ),
+        ),
+        ScenarioSpec(
+            name="proxy blackout",
+            description="the last (wireless) proxy dies halfway through",
+            faults=(ProxyFault(proxy_index=-1, at_fraction=0.5, action="fail"),),
+        ),
+        ScenarioSpec(
+            name="event storm",
+            description="frequent injected anomalies with standing queries armed",
+            trace=TracePerturbation(
+                event_rate_per_sensor_day=2.0,
+                event_magnitude=8.0,
+                event_duration_epochs=20,
+            ),
+            standing=StandingQuerySpec(
+                kind=TriggerKind.ABOVE, threshold_offset=4.0, min_interval_s=600.0
+            ),
+        ),
+        ScenarioSpec(
+            name="drift storm",
+            description="wild clocks plus sensing dropout",
+            clocks=ClockRegime(
+                model_clocks=True,
+                offset_std_s=2.0,
+                skew_ppm_std=120.0,
+                drift_random_walk=1e-7,
+            ),
+            trace=TracePerturbation(dropout_rate=0.1),
+        ),
+        ScenarioSpec(
+            name="duty-cycle sweep",
+            description="LPL check interval swept across operating points",
+            radio=RadioRegime(
+                loss_probability=0.1, duty_cycle_points=(0.5, 2.0, 8.0)
+            ),
+        ),
+    )
+    return {spec.name: spec for spec in scenarios}
+
+
+#: the specs the default campaign runs, in order — pass directly to
+#: :meth:`~repro.scenarios.runner.CampaignRunner.run`
+DEFAULT_CAMPAIGN = tuple(builtin_scenarios().values())

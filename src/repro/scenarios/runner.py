@@ -1,0 +1,478 @@
+"""Campaign execution: a matrix of scenarios over both harnesses.
+
+The :class:`CampaignRunner` turns each :class:`~repro.scenarios.spec.
+ScenarioSpec` into concrete runs — one per harness (single-cell
+:class:`~repro.core.system.PrestoSystem`, federated
+:class:`~repro.core.federation.FederatedSystem`, both built through
+:class:`~repro.core.system.CellBuilder`) and per duty-cycle point — and
+collects every run's :class:`~repro.core.system.SystemReport` /
+:class:`~repro.core.federation.FederatedReport` into one consolidated
+:class:`CampaignReport` with per-scenario success rate, mean error,
+energy per sensor-day, answer mix and notification recall against the
+injected ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
+from repro.core.config import SHARD_POLICIES
+from repro.core.continuous import ContinuousQuery, Notification, TriggerKind
+from repro.core.system import SystemReport
+from repro.radio.link import LinkConfig
+from repro.scenarios.spec import ScenarioSpec, StandingQuerySpec
+from repro.sync.clock import ClockModel
+from repro.traces.events import InjectedEvent, inject_events
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
+from repro.traces.workload import (
+    QueryWorkloadConfig,
+    QueryWorkloadGenerator,
+    ShardedWorkloadGenerator,
+)
+
+#: the two harness flavours a scenario can run over
+HARNESSES = ("single", "federated")
+
+#: epochs of slack around an injected event inside which a notification counts
+RECALL_ONSET_SLACK_EPOCHS = 2
+RECALL_TAIL_SLACK_EPOCHS = 4
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Deployment sizing shared by every run of one campaign."""
+
+    n_sensors: int = 6
+    duration_days: float = 0.75
+    epoch_s: float = 31.0
+    seed: int = 7
+    arrival_rate_per_s: float = 1 / 240.0
+    harnesses: tuple[str, ...] = HARNESSES
+    n_proxies: int = 3
+    shard_policy: str = "contiguous"
+    replication_factor: int = 1
+    model_kind: str = "arima"
+    refit_interval_s: float = 3 * 3600.0
+    min_training_epochs: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_sensors < 1:
+            raise ValueError("need >= 1 sensor")
+        if self.duration_days <= 0:
+            raise ValueError("duration must be positive")
+        if not self.harnesses or any(h not in HARNESSES for h in self.harnesses):
+            raise ValueError(f"harnesses must be drawn from {HARNESSES}")
+        if self.n_proxies < 1:
+            raise ValueError("need >= 1 proxy")
+        # n_proxies only matters when the federated harness actually runs;
+        # a single-cell campaign on a tiny fleet must not be rejected for
+        # an unused default.
+        if "federated" in self.harnesses and self.n_proxies > self.n_sensors:
+            raise ValueError("proxies must be in [1, n_sensors]")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ValueError(f"unknown shard policy {self.shard_policy!r}")
+
+    @property
+    def duration_s(self) -> float:
+        """Run horizon in seconds."""
+        return self.duration_days * 86_400.0
+
+    @classmethod
+    def smoke(cls) -> "CampaignConfig":
+        """CI-sized campaign: small fleet, short horizon, 2 proxies.
+
+        The seed is chosen so the event-storm scenario draws positive
+        injected events even at this tiny scale — the notification-recall
+        path must be exercised by CI, not just at full scale.
+        """
+        return cls(
+            n_sensors=4,
+            duration_days=0.3,
+            seed=3,
+            n_proxies=2,
+            arrival_rate_per_s=1 / 300.0,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """One (scenario, harness, variant) run's outcome."""
+
+    scenario: str
+    harness: str
+    variant: str                 # e.g. "lpl=2.0s" for duty-cycle points
+    report: SystemReport         # FederatedReport for the federated harness
+    events_injected: int = 0
+    qualifying_events: int = 0   # positive injected events a trigger should catch
+    notifications: int = 0
+    notification_recall: float = float("nan")
+    bursts_scheduled: int = 0
+    faults_applied: int = 0
+
+    @property
+    def label(self) -> str:
+        """Human-readable run id."""
+        suffix = f" [{self.variant}]" if self.variant else ""
+        return f"{self.scenario}/{self.harness}{suffix}"
+
+    def row(self) -> dict[str, float | str]:
+        """Flat metrics row for tables and JSON."""
+        report = self.report
+        out: dict[str, float | str] = {
+            "scenario": self.scenario,
+            "harness": self.harness,
+            "variant": self.variant,
+            "success_rate": report.success_rate,
+            "mean_error": report.mean_error,
+            "energy_per_day_j": report.sensor_energy_per_day_j,
+            "answered_fraction": report.answered_fraction,
+            "mean_latency_s": report.mean_latency_s,
+            "delivery_ratio": report.delivery_ratio,
+            "notification_recall": self.notification_recall,
+            "notifications": float(self.notifications),
+            "events_injected": float(self.events_injected),
+        }
+        failovers = getattr(report, "failovers", None)
+        if failovers is not None:
+            out["failovers"] = float(failovers)
+            out["unroutable"] = float(report.unroutable)
+        return out
+
+
+@dataclass
+class CampaignReport:
+    """Consolidated outcome of one campaign."""
+
+    config: CampaignConfig
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One flat metrics dict per run."""
+        return [result.row() for result in self.results]
+
+    def scenarios(self) -> list[str]:
+        """Distinct scenario names, campaign order."""
+        seen: list[str] = []
+        for result in self.results:
+            if result.scenario not in seen:
+                seen.append(result.scenario)
+        return seen
+
+    def for_scenario(self, name: str) -> list[ScenarioResult]:
+        """All runs of one scenario."""
+        return [r for r in self.results if r.scenario == name]
+
+    def to_table(self) -> str:
+        """Fixed-width summary table of every run."""
+        header = (
+            f"{'scenario':<20} {'harness':<9} {'variant':<9} {'success':>7} "
+            f"{'err':>6} {'E/day J':>8} {'answered':>8} {'recall':>6} "
+            f"{'notif':>5}  notes"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            report = result.report
+            notes = []
+            if result.bursts_scheduled:
+                notes.append(f"bursts={result.bursts_scheduled}")
+            if result.faults_applied:
+                notes.append(f"faults={result.faults_applied}")
+            failovers = getattr(report, "failovers", None)
+            if failovers:
+                notes.append(f"failovers={failovers}")
+            unroutable = getattr(report, "unroutable", 0)
+            if unroutable:
+                notes.append(f"unroutable={unroutable}")
+            lines.append(
+                f"{result.scenario:<20} {result.harness:<9} "
+                f"{result.variant or '-':<9} {report.success_rate:>7.3f} "
+                f"{report.mean_error:>6.3f} "
+                f"{report.sensor_energy_per_day_j:>8.2f} "
+                f"{report.answered_fraction:>8.3f} "
+                f"{result.notification_recall:>6.2f} "
+                f"{result.notifications:>5d}  {' '.join(notes)}"
+            )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Executes scenario specs over the single-cell and federated harnesses."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+
+    # -- campaign entry ----------------------------------------------------------
+
+    def run(self, scenarios: list[ScenarioSpec] | tuple[ScenarioSpec, ...]) -> CampaignReport:
+        """Run every scenario over every configured harness (and sweep point)."""
+        report = CampaignReport(config=self.config)
+        for spec in scenarios:
+            # One trace per scenario: every harness and sweep point replays
+            # the identical perturbed signal (and saves the regeneration).
+            prepared = self._build_trace(spec)
+            points: tuple[float | None, ...] = spec.radio.duty_cycle_points or (None,)
+            for harness in self.config.harnesses:
+                for point in points:
+                    report.results.append(
+                        self.run_one(spec, harness, point, _prepared=prepared)
+                    )
+        return report
+
+    def run_one(
+        self,
+        spec: ScenarioSpec,
+        harness: str,
+        duty_cycle_point: float | None = None,
+        _prepared: tuple[TraceSet, TraceSet, list[InjectedEvent]] | None = None,
+    ) -> ScenarioResult:
+        """Run one scenario on one harness (optionally at one LPL point)."""
+        if harness not in HARNESSES:
+            raise ValueError(f"unknown harness {harness!r}; expected {HARNESSES}")
+        cfg = self.config
+        base, trace, events = (
+            _prepared if _prepared is not None else self._build_trace(spec)
+        )
+        presto = self._presto_config(spec, duty_cycle_point)
+        clock_model = ClockModel(
+            offset_std_s=spec.clocks.offset_std_s,
+            skew_ppm_std=spec.clocks.skew_ppm_std,
+            drift_random_walk=spec.clocks.drift_random_walk,
+        )
+        faults_applied = 0
+        if harness == "single":
+            system = PrestoSystem(
+                trace,
+                presto,
+                seed=cfg.seed + 1,
+                model_clocks=spec.clocks.model_clocks,
+                clock_model=clock_model,
+            )
+            proxies = [(system.proxy, lambda local: local)]
+            workload = QueryWorkloadGenerator(
+                trace.n_sensors,
+                QueryWorkloadConfig(arrival_rate_per_s=cfg.arrival_rate_per_s),
+                np.random.default_rng(cfg.seed + 2),
+            )
+            networks = [system.network]
+        else:
+            system = FederatedSystem(
+                trace,
+                presto,
+                federation=FederationConfig(
+                    n_proxies=cfg.n_proxies,
+                    shard_policy=cfg.shard_policy,
+                    replication_factor=cfg.replication_factor,
+                ),
+                seed=cfg.seed + 1,
+                model_clocks=spec.clocks.model_clocks,
+                clock_model=clock_model,
+            )
+            proxies = [
+                (fc.cell.proxy, fc.to_global) for fc in system.cells
+            ]
+            workload = ShardedWorkloadGenerator(
+                system.shards,
+                QueryWorkloadConfig(arrival_rate_per_s=cfg.arrival_rate_per_s),
+                np.random.default_rng(cfg.seed + 2),
+            )
+            networks = [fc.cell.network for fc in system.cells]
+            faults_applied = self._schedule_faults(spec, system)
+        armed = self._arm_standing_queries(spec, base, proxies)
+        bursts = self._schedule_bursts(spec, system.sim, networks)
+        # Queries start after a warm-up — an hour, clamped for horizons so
+        # short that a fixed hour would leave an empty arrival interval.
+        warmup_s = min(3600.0, 0.1 * cfg.duration_s)
+        queries = workload.generate(warmup_s, cfg.duration_s)
+        report = system.run(queries=queries, duration_s=cfg.duration_s)
+        notifications = self._collect_notifications(proxies) if armed else []
+        recall, qualifying = self._notification_recall(spec, events, notifications)
+        return ScenarioResult(
+            scenario=spec.name,
+            harness=harness,
+            variant=(
+                f"lpl={duty_cycle_point:g}s" if duty_cycle_point is not None else ""
+            ),
+            report=report,
+            events_injected=len(events),
+            qualifying_events=qualifying,
+            notifications=len(notifications),
+            notification_recall=recall,
+            bursts_scheduled=bursts,
+            faults_applied=faults_applied,
+        )
+
+    # -- run assembly ------------------------------------------------------------
+
+    def _build_trace(
+        self, spec: ScenarioSpec
+    ) -> tuple[TraceSet, TraceSet, list[InjectedEvent]]:
+        """Generate the base trace and apply the spec's perturbations."""
+        cfg = self.config
+        trace_config = IntelLabConfig(
+            n_sensors=cfg.n_sensors,
+            duration_s=cfg.duration_s,
+            epoch_s=cfg.epoch_s,
+            dropout_rate=spec.trace.dropout_rate,
+        )
+        base = IntelLabGenerator(trace_config, seed=cfg.seed).generate()
+        if not spec.injects_events:
+            return base, base, []
+        trace, events = inject_events(
+            base,
+            np.random.default_rng(cfg.seed + 13),
+            rate_per_sensor_day=spec.trace.event_rate_per_sensor_day,
+            magnitude=spec.trace.event_magnitude,
+            duration_epochs=spec.trace.event_duration_epochs,
+        )
+        return base, trace, events
+
+    def _presto_config(
+        self, spec: ScenarioSpec, duty_cycle_point: float | None
+    ) -> PrestoConfig:
+        cfg = self.config
+        return PrestoConfig(
+            sample_period_s=cfg.epoch_s,
+            model_kind=cfg.model_kind,
+            refit_interval_s=cfg.refit_interval_s,
+            min_training_epochs=cfg.min_training_epochs,
+            link=LinkConfig(loss_probability=spec.radio.loss_probability),
+            default_check_interval_s=(
+                duty_cycle_point if duty_cycle_point is not None else 1.0
+            ),
+            # An explicit duty-cycle point is the experiment variable: hold
+            # it fixed by disabling query-driven retuning for that run.
+            retune_interval_s=(
+                1e12 if duty_cycle_point is not None else 3_600.0
+            ),
+            flash_capacity_bytes=spec.storage.flash_capacity_bytes,
+            segment_readings=spec.storage.segment_readings,
+            aging_max_level=spec.storage.aging_max_level,
+        )
+
+    def _schedule_faults(self, spec: ScenarioSpec, system: FederatedSystem) -> int:
+        """Arm the spec's proxy fault schedule on the federated harness."""
+        n_proxies = len(system.proxy_names)
+        for fault in spec.faults:
+            if not -n_proxies <= fault.proxy_index < n_proxies:
+                raise ValueError(
+                    f"fault proxy_index {fault.proxy_index} out of range "
+                    f"for {n_proxies} proxies"
+                )
+            name = system.proxy_names[fault.proxy_index]
+            at_s = fault.at_fraction * self.config.duration_s
+            if fault.action == "fail":
+                system.schedule_failure(name, at_s)
+            else:
+                system.schedule_recovery(name, at_s)
+        return len(spec.faults)
+
+    def _schedule_bursts(self, spec: ScenarioSpec, sim, networks) -> int:
+        """Schedule interference bursts: elevated loss for burst_duration_s."""
+        radio = spec.radio
+        if radio.burst_loss_probability is None:
+            return 0
+        normal = LinkConfig(loss_probability=radio.loss_probability)
+        burst = LinkConfig(loss_probability=radio.burst_loss_probability)
+
+        def apply():
+            for network in networks:
+                network.set_link_config_all(burst)
+
+        def restore():
+            for network in networks:
+                network.set_link_config_all(normal)
+
+        count = 0
+        start = radio.burst_period_s
+        while start < self.config.duration_s:
+            end = min(start + radio.burst_duration_s, self.config.duration_s)
+            sim.schedule(start, apply)
+            sim.schedule(end, restore)
+            count += 1
+            start += radio.burst_period_s
+        return count
+
+    def _arm_standing_queries(self, spec: ScenarioSpec, base: TraceSet, proxies) -> int:
+        """Register the spec's standing query on every sensor; returns count."""
+        standing = spec.standing
+        if standing is None:
+            return 0
+        armed = 0
+        for proxy, to_global in proxies:
+            for local in range(proxy.n_sensors):
+                threshold = self._threshold_for(
+                    standing, base, int(to_global(local))
+                )
+                proxy.continuous.register(
+                    ContinuousQuery(
+                        sensor=local,
+                        kind=standing.kind,
+                        threshold=threshold,
+                        min_interval_s=standing.min_interval_s,
+                    )
+                )
+                armed += 1
+        return armed
+
+    @staticmethod
+    def _threshold_for(
+        standing: StandingQuerySpec, base: TraceSet, global_sensor: int
+    ) -> float:
+        """Armed threshold for one sensor (baseline-relative for levels)."""
+        if standing.kind is TriggerKind.DELTA:
+            return standing.threshold_offset
+        baseline = float(np.nanmean(base.values[global_sensor]))
+        if standing.kind is TriggerKind.ABOVE:
+            return baseline + standing.threshold_offset
+        return baseline - standing.threshold_offset
+
+    @staticmethod
+    def _collect_notifications(proxies) -> list[tuple[int, Notification]]:
+        """All (global_sensor, notification) pairs across the cells."""
+        collected: list[tuple[int, Notification]] = []
+        for proxy, to_global in proxies:
+            for notification in proxy.continuous.notifications:
+                collected.append((int(to_global(notification.sensor)), notification))
+        return collected
+
+    def _notification_recall(
+        self,
+        spec: ScenarioSpec,
+        events: list[InjectedEvent],
+        notifications: list[tuple[int, Notification]],
+    ) -> tuple[float, int]:
+        """Fraction of qualifying injected events that produced a notification.
+
+        Qualifying events push the signal *toward* the armed trigger:
+        positive-magnitude events for ABOVE, negative for BELOW, any for
+        DELTA.  NaN when the scenario armed no standing query or injected
+        no qualifying event — no evidence, not a perfect score.
+        """
+        standing = spec.standing
+        if standing is None or not events:
+            return float("nan"), 0
+        if standing.kind is TriggerKind.ABOVE:
+            qualifying = [e for e in events if e.magnitude > 0]
+        elif standing.kind is TriggerKind.BELOW:
+            qualifying = [e for e in events if e.magnitude < 0]
+        else:
+            qualifying = list(events)
+        if not qualifying:
+            return float("nan"), 0
+        epoch_s = self.config.epoch_s
+        times_by_sensor: dict[int, list[float]] = {}
+        for sensor, notification in notifications:
+            times_by_sensor.setdefault(sensor, []).append(notification.timestamp)
+        hits = 0
+        for event in qualifying:
+            onset = event.start_epoch * epoch_s - RECALL_ONSET_SLACK_EPOCHS * epoch_s
+            stop = event.end_epoch * epoch_s + RECALL_TAIL_SLACK_EPOCHS * epoch_s
+            if any(
+                onset <= timestamp <= stop
+                for timestamp in times_by_sensor.get(event.sensor, [])
+            ):
+                hits += 1
+        return hits / len(qualifying), len(qualifying)

@@ -1,0 +1,162 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one adverse regime and composes every
+hostile-condition knob the platform already has — trace perturbations
+(:mod:`repro.traces.events` injection, sensing dropout), radio regimes
+(:class:`~repro.radio.link.LinkConfig` loss with interference bursts,
+LPL duty-cycle points), storage pressure (small flash + aggressive
+:class:`~repro.storage.aging.AgingPolicy`), clock-drift storms, standing
+continuous queries, and proxy/federation fault schedules — into one
+value object the :class:`~repro.scenarios.runner.CampaignRunner` can
+execute over both the single-cell and federated harnesses.
+
+Every sub-spec defaults to "benign": a default-constructed
+``ScenarioSpec`` is the nominal regime, and each field turns exactly one
+screw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.continuous import TriggerKind
+
+
+@dataclass(frozen=True)
+class TracePerturbation:
+    """What happens to the signal before the sensors ever see it."""
+
+    dropout_rate: float = 0.0            # fraction of epochs lost to NaN
+    event_rate_per_sensor_day: float = 0.0
+    event_magnitude: float = 8.0         # injected anomaly size (signal units)
+    event_duration_epochs: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(f"dropout_rate must be in [0,1), got {self.dropout_rate}")
+        if self.event_rate_per_sensor_day < 0:
+            raise ValueError("event rate must be >= 0")
+        if self.event_duration_epochs < 1:
+            raise ValueError("event duration must be >= 1 epoch")
+
+
+@dataclass(frozen=True)
+class RadioRegime:
+    """Channel conditions and the LPL operating points to visit."""
+
+    loss_probability: float = 0.1        # steady-state per-attempt loss
+    burst_loss_probability: float | None = None   # elevated loss during bursts
+    burst_period_s: float = 4 * 3600.0   # one burst starts every period
+    burst_duration_s: float = 1800.0
+    #: LPL check intervals to sweep (one run per point); empty = cell default.
+    duty_cycle_points: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0,1), got {self.loss_probability}"
+            )
+        if self.burst_loss_probability is not None:
+            if not 0.0 <= self.burst_loss_probability < 1.0:
+                raise ValueError("burst loss probability must be in [0,1)")
+            if self.burst_period_s <= 0 or self.burst_duration_s <= 0:
+                raise ValueError("burst period and duration must be positive")
+            if self.burst_duration_s >= self.burst_period_s:
+                raise ValueError(
+                    "bursts must end before the next one starts "
+                    f"(duration {self.burst_duration_s} >= period "
+                    f"{self.burst_period_s}); raise loss_probability instead "
+                    "for continuous interference"
+                )
+        if any(point <= 0 for point in self.duty_cycle_points):
+            raise ValueError("duty-cycle points must be positive seconds")
+
+
+@dataclass(frozen=True)
+class StoragePressure:
+    """Sensor-side flash sizing and aging aggressiveness."""
+
+    flash_capacity_bytes: int | None = None   # None = device default (ample)
+    segment_readings: int = 128
+    aging_max_level: int = 4
+
+    def __post_init__(self) -> None:
+        if self.flash_capacity_bytes is not None and self.flash_capacity_bytes <= 0:
+            raise ValueError("flash capacity must be positive")
+        if self.segment_readings < 1:
+            raise ValueError("segment readings must be >= 1")
+        if self.aging_max_level < 1:
+            raise ValueError("aging max level must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClockRegime:
+    """Clock modelling for the sensor fleet."""
+
+    model_clocks: bool = False
+    offset_std_s: float = 0.5
+    skew_ppm_std: float = 40.0
+    drift_random_walk: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.offset_std_s < 0 or self.skew_ppm_std < 0:
+            raise ValueError("clock spreads must be >= 0")
+
+
+@dataclass(frozen=True)
+class StandingQuerySpec:
+    """One standing predicate armed on every sensor of the deployment.
+
+    ``threshold_offset`` is relative to each sensor's clean baseline for
+    level triggers (ABOVE/BELOW) and absolute for DELTA triggers.
+    """
+
+    kind: TriggerKind = TriggerKind.ABOVE
+    threshold_offset: float = 4.0
+    min_interval_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.min_interval_s < 0:
+            raise ValueError("min interval must be >= 0")
+        if self.kind is TriggerKind.DELTA and self.threshold_offset <= 0:
+            raise ValueError("delta triggers need a positive threshold")
+
+
+@dataclass(frozen=True)
+class ProxyFault:
+    """One scheduled proxy failure or recovery (federated harness only)."""
+
+    proxy_index: int = -1        # index into the cell list; negative = from end
+    at_fraction: float = 0.5     # of the run duration
+    action: str = "fail"         # fail | recover
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError(
+                f"fault fraction must be in (0,1), got {self.at_fraction}"
+            )
+        if self.action not in ("fail", "recover"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named adverse regime, composed from the parts above."""
+
+    name: str
+    description: str = ""
+    trace: TracePerturbation = field(default_factory=TracePerturbation)
+    radio: RadioRegime = field(default_factory=RadioRegime)
+    storage: StoragePressure = field(default_factory=StoragePressure)
+    clocks: ClockRegime = field(default_factory=ClockRegime)
+    standing: StandingQuerySpec | None = None
+    faults: tuple[ProxyFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenarios need a name")
+
+    @property
+    def injects_events(self) -> bool:
+        """Whether the scenario perturbs the trace with ground-truth events."""
+        return self.trace.event_rate_per_sensor_day > 0

@@ -28,6 +28,14 @@ class SyncEstimate:
         """Map a sensor-local timestamp back to proxy (true) time."""
         return (local_time - self.offset) / self.rate
 
+    def project(self, proxy_time: float) -> float:
+        """Map a proxy (true) instant into the sensor's local frame.
+
+        Exact inverse of :meth:`correct` — used to translate query windows
+        into the frame the sensor's reported timestamps live in.
+        """
+        return self.rate * proxy_time + self.offset
+
 
 class TimeSyncProtocol:
     """Per-sensor sample collection and least-squares clock fitting."""
@@ -77,6 +85,14 @@ class TimeSyncProtocol:
         if estimate is None:
             return local_time
         return estimate.correct(local_time)
+
+    def project(self, sensor: str, proxy_time: float) -> float:
+        """Map a proxy instant into *sensor*'s local frame (inverse of
+        :meth:`correct`); identity until an estimate exists."""
+        estimate = self._estimates.get(sensor)
+        if estimate is None:
+            return proxy_time
+        return estimate.project(proxy_time)
 
     def max_residual_s(self) -> float:
         """Worst residual std across sensors (sync quality indicator)."""

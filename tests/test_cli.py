@@ -20,6 +20,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--model", "lstm"])
 
+    def test_scenarios_flags(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--campaign", "smoke", "--scenario", "nominal",
+             "--harness", "single"]
+        )
+        assert args.campaign == "smoke"
+        assert args.scenario == ["nominal"]
+        assert args.harness == "single"
+        assert args.sensors == 6 and args.days == 0.75  # scenarios defaults
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--campaign", "huge"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--harness", "cloud"])
+
     def test_federation_flags(self):
         args = build_parser().parse_args(
             ["federation", "--proxies", "3", "--shard-policy", "round_robin",
@@ -53,6 +67,31 @@ class TestCommands:
         output = capsys.readouterr().out
         for kind in ("arima", "ar", "seasonal", "markov"):
             assert kind in output
+
+    def test_scenarios_lists_builtins(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("lossy uplink", "proxy blackout", "duty-cycle sweep"):
+            assert name in output
+
+    def test_scenarios_runs_campaign(self, capsys):
+        assert main(
+            ["scenarios", "--campaign", "smoke", "--scenario", "proxy blackout",
+             "--harness", "federated"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "campaign 'smoke'" in output
+        assert "proxy blackout" in output
+        assert "failovers=" in output
+
+    def test_scenarios_rejects_unknown_scenario(self, capsys):
+        assert main(["scenarios", "--scenario", "volcano"]) == 2
+        assert "unknown scenarios" in capsys.readouterr().out
+
+    def test_scenarios_rejects_bad_sizing(self, capsys):
+        # default 3 proxies cannot shard 2 sensors: error, not a traceback
+        assert main(["scenarios", "--sensors", "2"]) == 2
+        assert "error:" in capsys.readouterr().out
 
     def test_federation_prints_cluster_report(self, capsys):
         assert main(

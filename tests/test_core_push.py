@@ -104,6 +104,36 @@ class TestReplicaSync:
         assert tracker.substitutions == 2
         assert tracker.pushes_applied == 1
 
+    def test_checker_advance_silent_mirrors_tracker(self):
+        """A sensing dropout advances both replicas identically: the
+        checker's silent advance substitutes the same value as the
+        tracker's and keeps the pair in lockstep afterwards."""
+        model, x = fitted_model()
+        update = ModelUpdate(model=model, delta=0.5)
+        checker = SensorModelChecker(update)
+        tracker = ProxyModelTracker(update)
+        rng = np.random.default_rng(11)
+        value = float(x[-1])
+        for step in range(200):
+            if step % 5 == 0:  # dropout epoch: no reading on either side
+                substituted = checker.advance_silent()
+                assert substituted == pytest.approx(tracker.advance_silent())
+            else:
+                value += float(rng.normal(0, 0.2))
+                decision = checker.process(value)
+                if decision.push:
+                    tracker.apply_push(value)
+                else:
+                    tracker.advance_silent()
+            assert verify_replicas_in_sync(checker, tracker)
+
+    def test_checker_advance_silent_counts_a_check(self):
+        model, _ = fitted_model()
+        checker = SensorModelChecker(ModelUpdate(model=model, delta=0.5))
+        checker.advance_silent()
+        assert checker.checks == 1
+        assert checker.pushes == 0
+
 
 class TestModelUpdate:
     def test_parameter_bytes_include_delta(self):

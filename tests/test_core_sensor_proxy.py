@@ -426,3 +426,57 @@ class TestPullPastEmptyWindow:
         answer = proxy.process_query(query)
         assert answer.source is AnswerSource.SENSOR_PULL
         assert answer.value == pytest.approx(21.5)
+
+
+class TestMissedSampleAccounting:
+    """Sensing dropout must cost the model-check CPU energy, not be free."""
+
+    def _activate_model(self, cell):
+        sim, _, _, proxy, sensors = cell
+        rng = np.random.default_rng(9)
+        values = 20.0 + np.cumsum(rng.normal(0, 0.02, 100))
+        feed(sim, sensors, [values, values])
+        proxy.refit_sensor(0)
+        more = values[-1] + np.cumsum(rng.normal(0, 0.02, 40))
+        feed(sim, sensors, [more, more], start_epoch=100)
+        assert sensors[0].checker is not None
+        return sensors[0]
+
+    def test_missed_sample_charges_model_check_energy(self, cell):
+        sensor = self._activate_model(cell)
+        before = sensor.meter.snapshot().by_category.get("cpu.model_check", 0.0)
+        checks_before = sensor.checker.checks
+        epoch_before = sensor.epoch
+        sensor.on_missed_sample()
+        after = sensor.meter.snapshot().by_category.get("cpu.model_check", 0.0)
+        assert after > before
+        assert sensor.checker.checks == checks_before + 1
+        assert sensor.epoch == epoch_before + 1
+
+    def test_missed_sample_free_before_model(self, cell):
+        _, _, _, _, sensors = cell
+        sensor = sensors[0]
+        assert sensor.checker is None
+        before = sensor.meter.total_j
+        sensor.on_missed_sample()
+        # no model replica to advance yet: no check happens, none is charged
+        assert sensor.meter.total_j == before
+        assert sensor.epoch == 0
+
+    def test_missed_sample_matches_check_cost_of_a_reading(self, cell):
+        """The silent advance runs the same model arithmetic as verifying a
+        reading, so one dropout charges exactly one model-check quantum."""
+        sensor = self._activate_model(cell)
+        base = sensor.meter.snapshot().by_category["cpu.model_check"]
+        sensor.on_missed_sample()
+        dropout_cost = (
+            sensor.meter.snapshot().by_category["cpu.model_check"] - base
+        )
+        t = (sensor.epoch + 1) * 31.0
+        sensor.on_sample(t, 20.0)
+        check_cost = (
+            sensor.meter.snapshot().by_category["cpu.model_check"]
+            - base
+            - dropout_cost
+        )
+        assert dropout_cost == pytest.approx(check_cost)

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.core import PrestoConfig, PrestoSystem
-from repro.core.queries import AnswerSource
+from repro.core.cache import CacheEntry, EntrySource, SummaryCache
+from repro.core.queries import AnswerSource, QueryAnswer
 from repro.core.unified import ProxyCell, UnifiedStore
 from repro.radio.link import LinkConfig
+from repro.sync.protocol import TimeSyncProtocol
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 from repro.traces.workload import Query, QueryKind
 
@@ -92,6 +94,152 @@ class TestFailover:
         t = systems[0].sim.now - 5.0
         answer = store.query(Query(5, QueryKind.NOW, 0, t, t, precision=0.8))
         assert answer.source is AnswerSource.FAILED
+
+
+class _StubProxy:
+    """Deterministic proxy stand-in: fixed answer latency, real cache + sync."""
+
+    def __init__(self, name, n_sensors=2, latency_s=0.02):
+        self.name = name
+        self.n_sensors = n_sensors
+        self.cache = SummaryCache(64)
+        self.sync = TimeSyncProtocol()
+        self._latency = latency_s
+
+    def _key(self, sensor):
+        return f"{self.name}.s{sensor}"
+
+    def process_query(self, query):
+        return QueryAnswer(
+            query=query,
+            value=42.0,
+            source=AnswerSource.CACHE,
+            latency_s=self._latency,
+        )
+
+    def corrected_time(self, sensor, timestamp):
+        return self.sync.correct(self._key(sensor), timestamp)
+
+    def sensor_frame_time(self, sensor, timestamp):
+        return self.sync.project(self._key(sensor), timestamp)
+
+
+def build_stub_store():
+    """A wired + wireless stub pair with the wireless cell replicated."""
+    store = UnifiedStore(replication_factor=1)
+    wired = _StubProxy("proxy-a")
+    wireless = _StubProxy("proxy-b")
+    store.add_cell(ProxyCell(wired, 0, 1, wired=True, response_latency_s=0.01))
+    store.add_cell(ProxyCell(wireless, 2, 3, wired=False, response_latency_s=0.2))
+    store.plan_replication()
+    return store
+
+
+class TestFailoverPath:
+    def test_rerouted_latency_uses_replica_latency(self):
+        store = build_stub_store()
+
+        def now_query(qid):
+            return Query(qid, QueryKind.NOW, 2, 100.0, 100.0, precision=0.5)
+
+        up = store.query(now_query(0))
+        store.mark_proxy_down("proxy-b")
+        down = store.query(now_query(1))
+        assert up.answered and down.answered
+        assert store.rerouted_queries == 1
+        # identical routing and processing on both paths: the only latency
+        # difference is serving at the wired replica (0.01 s) instead of
+        # the wireless primary (0.2 s)
+        assert up.latency_s - down.latency_s == pytest.approx(0.2 - 0.01)
+
+    def test_unroutable_counted_when_no_replica_left(self):
+        store = build_stub_store()
+        store.mark_proxy_down("proxy-a")
+        store.mark_proxy_down("proxy-b")
+        before = store.unroutable_queries
+        answer = store.query(Query(2, QueryKind.NOW, 2, 100.0, 100.0))
+        assert answer.source is AnswerSource.FAILED
+        assert answer.value is None
+        assert store.unroutable_queries == before + 1
+        assert store.rerouted_queries == 0
+
+
+#: per-(cell, local) clock offsets: local = true + offset
+DRIFT_OFFSETS = {(0, 0): 5.0, (0, 1): 5.0, (1, 0): -5.0, (1, 1): -5.0}
+#: (cell, local, true detection time) — interleaved across the two cells
+DRIFT_DETECTIONS = [(0, 0, 100.0), (1, 0, 103.0), (0, 1, 106.0), (1, 1, 109.0)]
+
+
+def build_drifted_store(sensor_stamped=True):
+    """Two real proxies whose sensors report drifted local timestamps."""
+    systems = []
+    for seed, name in ((1, "proxy"), (2, "proxy-b")):
+        config = IntelLabConfig(n_sensors=2, duration_s=3600.0, epoch_s=31.0)
+        trace = IntelLabGenerator(config, seed=seed).generate()
+        presto = PrestoConfig(
+            sample_period_s=31.0, link=LinkConfig(loss_probability=0.0)
+        )
+        systems.append(PrestoSystem(trace, presto, seed=seed, proxy_name=name))
+    store = UnifiedStore(replication_factor=1)
+    store.add_cell(
+        ProxyCell(systems[0].proxy, 0, 1, wired=True, sensor_stamped=sensor_stamped)
+    )
+    store.add_cell(
+        ProxyCell(systems[1].proxy, 2, 3, wired=False, sensor_stamped=sensor_stamped)
+    )
+    for (cell_index, local), offset in DRIFT_OFFSETS.items():
+        proxy = systems[cell_index].proxy
+        name = proxy.sensor_name(local)
+        for t in (0.0, 600.0, 1200.0):
+            proxy.sync.record_exchange(name, proxy_time=t, sensor_local_time=t + offset)
+    for cell_index, local, true_time in DRIFT_DETECTIONS:
+        proxy = systems[cell_index].proxy
+        raw = true_time + DRIFT_OFFSETS[(cell_index, local)]
+        proxy.cache.insert(
+            local,
+            CacheEntry(
+                timestamp=raw, value=20.0 + local, std=0.0, source=EntrySource.PUSHED
+            ),
+        )
+    return store
+
+
+class TestOrderedViewDriftCorrection:
+    def test_raw_stamps_would_misorder(self):
+        """Fixture sanity: the raw local stamps invert the detection order."""
+        raw = sorted(
+            (true + DRIFT_OFFSETS[(cell, local)], cell, local)
+            for cell, local, true in DRIFT_DETECTIONS
+        )
+        raw_cells = [cell for _, cell, _ in raw]
+        assert raw_cells != [cell for cell, _, _ in DRIFT_DETECTIONS]
+
+    def test_corrected_merge_restores_true_order(self):
+        store = build_drifted_store()
+        view = store.ordered_view(0.0, 1000.0)
+        assert [sensor for _, sensor, _ in view] == [0, 2, 1, 3]
+        assert [t for t, _, _ in view] == pytest.approx([100.0, 103.0, 106.0, 109.0])
+
+    def test_window_bounds_apply_in_the_corrected_frame(self):
+        """A detection whose raw stamp lies outside [start, end] but whose
+        corrected instant is inside must appear — and vice versa."""
+        store = build_drifted_store()
+        view = store.ordered_view(99.0, 104.0)
+        assert [(round(t), sensor) for t, sensor, _ in view] == [(100, 0), (103, 2)]
+
+    def test_epoch_stamped_cells_never_corrected(self):
+        """Default cells hold epoch-derived (proxy-frame) stamps: even with
+        a non-identity sync fit, ordered_view must merge them as stored —
+        correcting proxy-frame stamps would *introduce* clock error."""
+        store = build_drifted_store(sensor_stamped=False)
+        view = store.ordered_view(0.0, 1000.0)
+        raw = sorted(
+            (true + DRIFT_OFFSETS[(cell, local)], 2 * cell + local)
+            for cell, local, true in DRIFT_DETECTIONS
+        )
+        assert [(round(t, 9), sensor) for t, sensor, _ in view] == [
+            (round(t, 9), sensor) for t, sensor in raw
+        ]
 
 
 class TestOrderedView:

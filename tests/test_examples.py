@@ -37,6 +37,12 @@ class TestExamples:
         assert "ordering errors after proxy sync correction: 0" in output
         assert "recovered trajectories" in output
 
+    def test_scenario_campaign(self, capsys):
+        output = run_example("scenario_campaign", capsys)
+        assert "what the campaign says" in output
+        assert "failovers" in output
+        assert "qualifying injected anomalies" in output
+
     def test_campus_federation(self, capsys):
         output = run_example("campus_federation", capsys)
         assert "replication plan" in output

@@ -1,0 +1,223 @@
+"""Unit + integration tests for the scenario-campaign engine."""
+
+import math
+
+import pytest
+
+from repro.core.continuous import TriggerKind
+from repro.scenarios import (
+    CampaignConfig,
+    CampaignRunner,
+    ProxyFault,
+    RadioRegime,
+    ScenarioSpec,
+    StandingQuerySpec,
+    StoragePressure,
+    TracePerturbation,
+    builtin_scenarios,
+)
+
+REQUIRED_SCENARIOS = (
+    "lossy uplink",
+    "storage starvation",
+    "proxy blackout",
+    "event storm",
+    "drift storm",
+    "duty-cycle sweep",
+)
+
+
+def small_config(**overrides):
+    """Campaign sizing small enough for unit tests."""
+    defaults = dict(
+        n_sensors=4,
+        duration_days=0.3,
+        seed=3,
+        n_proxies=2,
+        arrival_rate_per_s=1 / 400.0,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestSpecValidation:
+    def test_benign_default(self):
+        spec = ScenarioSpec(name="x")
+        assert not spec.injects_events
+        assert spec.standing is None and spec.faults == ()
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            TracePerturbation(dropout_rate=1.0)
+        with pytest.raises(ValueError):
+            TracePerturbation(event_duration_epochs=0)
+        with pytest.raises(ValueError):
+            RadioRegime(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            RadioRegime(burst_loss_probability=0.5, burst_period_s=0.0)
+        with pytest.raises(ValueError):
+            # overlapping bursts would interleave apply/restore events
+            RadioRegime(
+                burst_loss_probability=0.5,
+                burst_period_s=1800.0,
+                burst_duration_s=1800.0,
+            )
+        with pytest.raises(ValueError):
+            RadioRegime(duty_cycle_points=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            StoragePressure(flash_capacity_bytes=0)
+        with pytest.raises(ValueError):
+            StandingQuerySpec(kind=TriggerKind.DELTA, threshold_offset=0.0)
+        with pytest.raises(ValueError):
+            ProxyFault(at_fraction=0.0)
+        with pytest.raises(ValueError):
+            ProxyFault(action="pause")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+
+    def test_campaign_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_proxies=9, n_sensors=4)
+        with pytest.raises(ValueError):
+            CampaignConfig(harnesses=("single", "cloud"))
+        with pytest.raises(ValueError):
+            CampaignConfig(duration_days=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(n_proxies=0)
+
+    def test_single_harness_ignores_proxy_sizing(self):
+        # an unused federated default must not reject a 2-sensor fleet
+        config = CampaignConfig(n_sensors=2, harnesses=("single",))
+        assert config.n_proxies == 3  # irrelevant but accepted
+
+
+class TestLibrary:
+    def test_required_scenarios_present(self):
+        specs = builtin_scenarios()
+        assert len(specs) >= 6
+        for name in REQUIRED_SCENARIOS:
+            assert name in specs, f"missing built-in scenario {name!r}"
+
+    def test_every_builtin_described(self):
+        for spec in builtin_scenarios().values():
+            assert spec.description
+
+    def test_sweep_carries_points(self):
+        sweep = builtin_scenarios()["duty-cycle sweep"]
+        assert len(sweep.radio.duty_cycle_points) >= 3
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One small campaign over blackout + event storm + a 2-point sweep."""
+    specs = builtin_scenarios()
+    sweep = ScenarioSpec(
+        name="duty-cycle sweep",
+        radio=RadioRegime(loss_probability=0.1, duty_cycle_points=(1.0, 8.0)),
+    )
+    runner = CampaignRunner(small_config())
+    report = runner.run(
+        [specs["proxy blackout"], specs["event storm"], sweep]
+    )
+    return report
+
+
+class TestCampaignMatrix:
+    def test_every_scenario_ran_both_harnesses(self, campaign):
+        for name in campaign.scenarios():
+            harnesses = {r.harness for r in campaign.for_scenario(name)}
+            assert harnesses == {"single", "federated"}
+
+    def test_sweep_expands_per_point_and_harness(self, campaign):
+        sweep = campaign.for_scenario("duty-cycle sweep")
+        assert len(sweep) == 4  # 2 points x 2 harnesses
+        assert {r.variant for r in sweep} == {"lpl=1s", "lpl=8s"}
+
+    def test_rows_and_table_consolidated(self, campaign):
+        rows = campaign.rows()
+        assert len(rows) == len(campaign.results)
+        for key in (
+            "success_rate",
+            "mean_error",
+            "energy_per_day_j",
+            "notification_recall",
+        ):
+            assert all(key in row for row in rows)
+        table = campaign.to_table()
+        for name in campaign.scenarios():
+            assert name in table
+
+    def test_longer_check_interval_saves_energy(self, campaign):
+        for harness in ("single", "federated"):
+            sweep = [
+                r for r in campaign.for_scenario("duty-cycle sweep")
+                if r.harness == harness
+            ]
+            energies = [r.report.sensor_energy_per_day_j for r in sweep]
+            assert energies[0] > energies[1]
+
+
+class TestFaults:
+    def test_blackout_fails_over_on_federated_only(self, campaign):
+        results = {r.harness: r for r in campaign.for_scenario("proxy blackout")}
+        assert results["single"].faults_applied == 0
+        federated = results["federated"]
+        assert federated.faults_applied == 1
+        assert federated.report.failovers > 0
+        # replication keeps the cluster answering through the blackout
+        assert federated.report.answered_fraction > 0.8
+
+
+class TestEventsAndRecall:
+    def test_storm_injects_and_recalls(self, campaign):
+        for result in campaign.for_scenario("event storm"):
+            assert result.events_injected > 0
+            assert result.qualifying_events > 0
+            assert not math.isnan(result.notification_recall)
+            assert result.notification_recall >= 0.5
+            assert result.notifications > 0
+
+    def test_recall_nan_without_standing_queries(self, campaign):
+        for result in campaign.for_scenario("proxy blackout"):
+            assert math.isnan(result.notification_recall)
+            assert result.notifications == 0
+
+
+class TestBursts:
+    def test_bursts_scheduled_and_degrade_delivery(self):
+        runner = CampaignRunner(small_config())
+        clean = runner.run_one(ScenarioSpec(name="clean", radio=RadioRegime(loss_probability=0.0)), "single")
+        bursty = runner.run_one(
+            ScenarioSpec(
+                name="bursty",
+                radio=RadioRegime(
+                    loss_probability=0.3,
+                    burst_loss_probability=0.9,
+                    burst_period_s=7200.0,
+                    burst_duration_s=3600.0,
+                ),
+            ),
+            "single",
+        )
+        # 0.3 days = 25920 s -> bursts start at 7200, 14400, 21600
+        assert bursty.bursts_scheduled == 3
+        assert clean.bursts_scheduled == 0
+        assert bursty.report.delivery_ratio < clean.report.delivery_ratio
+
+    def test_unknown_harness_rejected(self):
+        runner = CampaignRunner(small_config())
+        with pytest.raises(ValueError):
+            runner.run_one(ScenarioSpec(name="x"), "cloud")
+
+    def test_out_of_range_fault_index_rejected(self):
+        runner = CampaignRunner(small_config())  # 2 federated proxies
+        bad = ScenarioSpec(name="x", faults=(ProxyFault(proxy_index=5),))
+        with pytest.raises(ValueError, match="out of range"):
+            runner.run_one(bad, "federated")
+
+    def test_sub_hour_horizon_still_generates_queries(self):
+        """The workload warm-up clamps below the horizon, so campaigns
+        shorter than the fixed one-hour warm-up must still run."""
+        runner = CampaignRunner(small_config(duration_days=0.02))
+        result = runner.run_one(ScenarioSpec(name="tiny"), "single")
+        assert len(result.report.answers) > 0
