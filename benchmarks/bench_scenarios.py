@@ -3,8 +3,10 @@
 Runs the full built-in scenario library through the
 :class:`~repro.scenarios.runner.CampaignRunner` over the single-cell and
 federated harnesses, prints the consolidated campaign table, persists it
-under ``benchmarks/results/`` and asserts the cross-scenario invariants
-that used to live in bespoke harness code:
+under ``benchmarks/results/``, appends per-scenario success/error/energy
+rows to ``BENCH_scenarios.json`` at the repo root (the cross-PR regression
+history, like the proxy hot-path benchmark's), and asserts the
+cross-scenario invariants that used to live in bespoke harness code:
 
 * the nominal regime answers essentially everything;
 * a proxy blackout produces failovers on the federated harness only;
@@ -12,17 +14,29 @@ that used to live in bespoke harness code:
   injected anomalies (gated at >= 50% so tiny CI draws don't flake;
   model-driven push catches rare events by construction and full-scale
   runs recall all of them);
-* sensor energy decreases monotonically along the duty-cycle sweep.
+* sensor energy decreases monotonically along the duty-cycle sweep;
+* regional-loss bursts actually fire, the failure cascade records one
+  replica-staleness figure per proxy death, the wear-out sweep ages more
+  archive segments at its smallest capacity, the surge multiplies the
+  answered query volume, and adversarial timing bounds notification
+  latency.
+
+With ``--check-drift`` the run additionally compares each (scenario,
+harness, variant) success rate against the last same-scale
+``BENCH_scenarios.json`` entry and fails when any dropped by more than
+``--drift-tolerance`` — the campaign regression gate CI runs on every PR.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_scenarios.py            # default scale
     PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke --check-drift
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 import time
@@ -36,6 +50,16 @@ from repro.scenarios import (
 )
 
 RESULT_PATH = Path(__file__).resolve().parent / "results" / "scenario_campaign.txt"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+#: row metrics persisted into the regression history
+TRACKED_METRICS = (
+    "success_rate",
+    "mean_error",
+    "energy_per_day_j",
+    "answered_fraction",
+    "notification_recall",
+)
 
 
 def check_invariants(report: CampaignReport) -> list[str]:
@@ -48,8 +72,8 @@ def check_invariants(report: CampaignReport) -> list[str]:
 
     by_scenario = {name: report.for_scenario(name) for name in report.scenarios()}
     expect(
-        len(by_scenario) >= 6,
-        f"campaign ran {len(by_scenario)} scenarios, expected >= 6",
+        len(by_scenario) >= 12,
+        f"campaign ran {len(by_scenario)} scenarios, expected >= 12",
     )
     for name, results in by_scenario.items():
         harnesses = {r.harness for r in results}
@@ -101,6 +125,149 @@ def check_invariants(report: CampaignReport) -> list[str]:
             all(a > b for a, b in zip(energies, energies[1:])),
             f"duty-cycle sweep energy not decreasing on {harness}: {energies}",
         )
+
+    for result in by_scenario.get("regional loss", []):
+        expect(
+            result.bursts_scheduled > 0,
+            f"regional loss/{result.harness} scheduled no bursts",
+        )
+
+    cascade = {
+        r.harness: r for r in by_scenario.get("cascading failures", [])
+    }
+    if "federated" in cascade:
+        result = cascade["federated"]
+        fail_actions = 3  # the builtin's schedule: three deaths
+        expect(
+            len(result.replica_staleness_s) == fail_actions,
+            f"cascade recorded {len(result.replica_staleness_s)} staleness "
+            f"figures, expected {fail_actions}",
+        )
+        expect(
+            result.report.failovers > 0,
+            "cascading failures produced no failovers",
+        )
+        expect(
+            any(math.isfinite(age) for age in result.replica_staleness_s),
+            "no cascade death had replicated state to measure staleness on",
+        )
+
+    for harness in ("single", "federated"):
+        sweep = [
+            r for r in by_scenario.get("flash wear-out", [])
+            if r.harness == harness
+        ]
+        if sweep:
+            ample, starved = sweep[0].report, sweep[-1].report
+            expect(
+                starved.archive_aged_segments > ample.archive_aged_segments,
+                f"wear-out/{harness}: smallest flash aged "
+                f"{starved.archive_aged_segments} segments vs "
+                f"{ample.archive_aged_segments} at ample capacity",
+            )
+
+    nominal_answers = {
+        r.harness: len(r.report.answers) for r in by_scenario.get("nominal", [])
+    }
+    for result in by_scenario.get("query surge", []):
+        baseline = nominal_answers.get(result.harness, 0)
+        expect(
+            len(result.report.answers) > 2 * baseline,
+            f"query surge/{result.harness} answered "
+            f"{len(result.report.answers)} vs nominal {baseline} — no surge",
+        )
+
+    for result in by_scenario.get("adversarial timing", []):
+        if result.qualifying_events == 0:
+            continue
+        expect(
+            not math.isnan(result.notification_recall),
+            f"adversarial timing/{result.harness} recall is NaN with "
+            f"{result.qualifying_events} qualifying events",
+        )
+        if result.notification_recall > 0:
+            expect(
+                math.isfinite(result.worst_notification_latency_s),
+                f"adversarial timing/{result.harness} caught events but "
+                "reported no worst-case latency",
+            )
+    return failures
+
+
+def _json_safe(value):
+    """NaN/inf -> None so the history file stays strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def build_record(report: CampaignReport, scale: str) -> dict:
+    """This campaign's tracked rows as one history entry (not yet persisted)."""
+    rows = [
+        {
+            "scenario": row["scenario"],
+            "harness": row["harness"],
+            "variant": row["variant"],
+            **{metric: _json_safe(row[metric]) for metric in TRACKED_METRICS},
+        }
+        for row in report.rows()
+    ]
+    return {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": scale,
+        "n_sensors": report.config.n_sensors,
+        "duration_days": report.config.duration_days,
+        "rows": rows,
+    }
+
+
+def append_history(record: dict, path: Path) -> None:
+    """Append *record* to the history file at *path*.
+
+    Callers append only after the invariants and drift gate pass — a
+    regressed run must never become the baseline later runs are compared
+    against (each drop under the tolerance would otherwise ratchet the
+    gate down forever).
+    """
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text()).get("history", [])
+    history.append(record)
+    path.write_text(
+        json.dumps({"benchmark": "scenario_campaign", "history": history}, indent=2)
+        + "\n"
+    )
+
+
+def check_drift(
+    record: dict, previous: dict | None, tolerance: float
+) -> list[str]:
+    """Success-rate regressions vs the last same-scale entry (empty = pass).
+
+    A row present in the previous entry but absent now is also a failure —
+    a silently dropped scenario must not read as "no drift".
+    """
+    if previous is None:
+        return []
+    current = {
+        (row["scenario"], row["harness"], row["variant"]): row
+        for row in record["rows"]
+    }
+    failures: list[str] = []
+    for row in previous["rows"]:
+        key = (row["scenario"], row["harness"], row["variant"])
+        label = "/".join(part for part in key if part)
+        if key not in current:
+            failures.append(f"tracked run {label} missing from this campaign")
+            continue
+        before, after = row["success_rate"], current[key]["success_rate"]
+        if before is None or after is None:
+            continue
+        if after < before - tolerance:
+            failures.append(
+                f"{label} success rate fell {before:.3f} -> {after:.3f} "
+                f"(tolerance {tolerance})"
+            )
     return failures
 
 
@@ -112,6 +279,23 @@ def main(argv: list[str] | None = None) -> int:
         help="CI-sized campaign (4 sensors x 0.3 days, 2 proxies)",
     )
     parser.add_argument("--out", type=Path, default=RESULT_PATH)
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=BENCH_PATH,
+        help="regression-history file (default: BENCH_scenarios.json)",
+    )
+    parser.add_argument(
+        "--check-drift",
+        action="store_true",
+        help="fail when any success rate drops vs the last same-scale entry",
+    )
+    parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed success-rate drop before --check-drift fails",
+    )
     args = parser.parse_args(argv)
 
     config = CampaignConfig.smoke() if args.smoke else CampaignConfig()
@@ -120,8 +304,9 @@ def main(argv: list[str] | None = None) -> int:
     report = runner.run(list(builtin_scenarios().values()))
     elapsed = time.perf_counter() - started
 
+    scale = "smoke" if args.smoke else "default"
     title = (
-        f"Scenario campaign ({'smoke' if args.smoke else 'default'} scale): "
+        f"Scenario campaign ({scale} scale): "
         f"{config.n_sensors} sensors x {config.duration_days:g} days, "
         f"{config.n_proxies} federated proxies, "
         f"{len(report.results)} runs in {elapsed:.1f}s"
@@ -134,11 +319,34 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(f"{title}\n\n{table}\n")
     print(f"recorded -> {args.out}")
 
+    previous = None
+    if args.json_out.exists():
+        same_scale = [
+            entry
+            for entry in json.loads(args.json_out.read_text()).get("history", [])
+            if entry.get("scale") == scale
+        ]
+        previous = same_scale[-1] if same_scale else None
+    record = build_record(report, scale)
+
     failures = check_invariants(report)
+    if args.check_drift:
+        drift = check_drift(record, previous, args.drift_tolerance)
+        if previous is None:
+            print("drift check: no prior entry at this scale (first run)")
+        elif not drift:
+            print(
+                f"drift check: no success-rate regression vs "
+                f"{previous['recorded_at']} (tolerance {args.drift_tolerance})"
+            )
+        failures.extend(drift)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
+        print(f"history NOT recorded (run failed checks) -> {args.json_out}")
         return 1
+    append_history(record, args.json_out)
+    print(f"history -> {args.json_out}")
     print("PASS: campaign invariants hold")
     return 0
 

@@ -10,9 +10,18 @@ scenario engine makes the whole acceptance campaign declarative — four
 named regimes, both harnesses, one consolidated report.
 """
 
+import math
+
 from repro.scenarios import CampaignConfig, CampaignRunner, builtin_scenarios
 
-SCENARIOS = ("nominal", "lossy uplink", "proxy blackout", "event storm")
+SCENARIOS = (
+    "nominal",
+    "lossy uplink",
+    "proxy blackout",
+    "event storm",
+    "cascading failures",
+    "adversarial timing",
+)
 
 
 def main() -> None:
@@ -55,6 +64,27 @@ def main() -> None:
         f"{100 * recall:.0f}% of qualifying injected anomalies "
         f"({storm['federated'].notifications} notifications) "
         f"— pushes surface rare events by construction"
+    )
+    cascade = {
+        r.harness: r for r in report.for_scenario("cascading failures")
+    }["federated"]
+    ages = [
+        f"{age:.0f}s" if math.isfinite(age) else "unreplicated"
+        for age in cascade.replica_staleness_s
+    ]
+    print(
+        f"  * a rolling fail/recover cascade left replicas "
+        f"{', '.join(ages)} stale at each death — overlapping outages "
+        f"freeze the failover tier at the last completed sync"
+    )
+    adversarial = {
+        r.harness: r for r in report.for_scenario("adversarial timing")
+    }["federated"]
+    print(
+        f"  * anomalies timed into 90% loss bursts were still recalled at "
+        f"{100 * adversarial.notification_recall:.0f}%, worst notification "
+        f"{adversarial.worst_notification_latency_s:.0f}s after onset "
+        f"— the paper's 'rare events are never missed' under the worst channel"
     )
 
 

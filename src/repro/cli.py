@@ -16,8 +16,10 @@ one PRESTO cell and prints its report; ``models`` compares push suppression
 across every model family on one trace; ``federation`` shards the
 deployment across a directory-routed proxy cluster (optionally killing a
 proxy mid-run to exercise replica failover); ``scenarios`` executes the
-built-in adverse-regime campaign over both harnesses and prints one
-consolidated report.
+built-in adverse-regime campaign — including regional loss, failure
+cascades, wear-out and workload sweeps, and adversarially timed anomalies
+— over both harnesses and prints one consolidated report with per-fault
+replica staleness.
 """
 
 from __future__ import annotations
@@ -217,7 +219,15 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     specs = builtin_scenarios()
     if args.list:
         for name, spec in specs.items():
-            print(f"{name:20s} {spec.description}")
+            extras = []
+            if spec.sweep is not None:
+                extras.append(
+                    f"sweep {spec.sweep.parameter} x{len(spec.sweep.values)}"
+                )
+            if spec.faults:
+                extras.append(f"{len(spec.faults)} faults")
+            suffix = f"  [{', '.join(extras)}]" if extras else ""
+            print(f"{name:20s} {spec.description}{suffix}")
         return 0
     if args.scenario:
         unknown = [name for name in args.scenario if name not in specs]
@@ -253,6 +263,19 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         f"{config.duration_days:g} days, {config.n_proxies} federated proxies"
     )
     print(report.to_table())
+    staleness_lines = [
+        f"  {result.label}: "
+        + ", ".join(
+            "unreplicated" if not np.isfinite(age) else f"{age:.0f}s"
+            for age in result.replica_staleness_s
+        )
+        for result in report.results
+        if result.replica_staleness_s
+    ]
+    if staleness_lines:
+        print("replica staleness at each proxy death:")
+        for line in staleness_lines:
+            print(line)
     return 0
 
 

@@ -144,6 +144,24 @@ class ProxyReplica:
     syncs: int = 0
 
 
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One proxy death and how stale its replicated state was at that instant.
+
+    ``replica_staleness_s`` is the age of the newest *entry* any live host
+    holds for the dead proxy — the horizon beyond which failover answers
+    must extrapolate.  It compounds sync lag with model-driven push
+    suppression (a well-predicted sensor legitimately ships nothing for
+    hours), so it bounds answer extrapolation depth, not sync recency.
+    ``inf`` when nothing was replicated (no plan, or death before the
+    first sync): failover then has nothing to serve from.
+    """
+
+    proxy: str
+    at_s: float
+    replica_staleness_s: float
+
+
 @dataclass
 class FederatedReport(SystemReport):
     """A :class:`SystemReport` aggregated across cells, plus routing metrics."""
@@ -156,6 +174,9 @@ class FederatedReport(SystemReport):
     failovers: int = 0             # queries whose owning proxy was dead
     unroutable: int = 0            # queries with no live server at all
     replica_syncs: int = 0
+    fault_staleness_s: tuple[float, ...] = ()   # one entry per proxy death
+    failover_mean_error: float = float("nan")   # |answer - truth| over failovers
+    failover_max_error: float = float("nan")
     cell_reports: list[SystemReport] = field(default_factory=list)
 
     @property
@@ -177,6 +198,13 @@ class FederatedReport(SystemReport):
             return float("nan")
         return self.replica_hits / self.failovers
 
+    @property
+    def max_replica_staleness_s(self) -> float:
+        """Worst replica age across the run's proxy deaths (NaN: no deaths)."""
+        if not self.fault_staleness_s:
+            return float("nan")
+        return max(self.fault_staleness_s)
+
     def summary(self) -> dict[str, float]:
         """Flat dict: the single-cell summary plus routing metrics."""
         base = super().summary()
@@ -187,6 +215,8 @@ class FederatedReport(SystemReport):
                 "replica_hit_rate": self.replica_hit_rate,
                 "failovers": float(self.failovers),
                 "unroutable": float(self.unroutable),
+                "max_replica_staleness_s": self.max_replica_staleness_s,
+                "failover_mean_error": self.failover_mean_error,
             }
         )
         return base
@@ -279,7 +309,9 @@ class FederatedSystem:
         self.failovers = 0
         self.unroutable = 0
         self.replica_syncs = 0
+        self.failover_events: list[FailoverEvent] = []
         self._query_log: list[tuple[Query, QueryAnswer]] = []
+        self._failover_positions: list[int] = []
         self._failures: list[tuple[float, str]] = []
         self._recoveries: list[tuple[float, str]] = []
 
@@ -300,8 +332,42 @@ class FederatedSystem:
         return name
 
     def fail_proxy(self, proxy_name: str) -> None:
-        """Take a proxy offline right now (queries start failing over)."""
-        self.directory.mark_down(self._by_name[proxy_name].name)
+        """Take a proxy offline right now (queries start failing over).
+
+        Records a :class:`FailoverEvent` with the replica staleness at the
+        instant of death — how far back the newest replicated entry sits,
+        the extrapolation horizon cascading-failure scenarios chart
+        against the sync interval (see :class:`FailoverEvent` for what the
+        age does and does not include).
+        """
+        name = self._by_name[proxy_name].name
+        self.failover_events.append(
+            FailoverEvent(
+                proxy=name,
+                at_s=self.sim.now,
+                replica_staleness_s=self.replica_staleness_s(name),
+            )
+        )
+        self.directory.mark_down(name)
+
+    def replica_staleness_s(self, proxy_name: str) -> float:
+        """Age of the newest entry live hosts hold for *proxy_name* now.
+
+        ``inf`` when no live host holds any replicated entry for the proxy
+        — replication was unplanned, never synced, or every host is dead.
+        """
+        self._validate_proxy(proxy_name)
+        newest = float("-inf")
+        for host in self.replication_plan.get(proxy_name, []):
+            if not self.directory.proxy(host).alive:
+                continue
+            replica = self._replicas[(host, proxy_name)]
+            for state in replica.sensors.values():
+                if state.entries:
+                    newest = max(newest, state.entries[-1].timestamp)
+        if newest == float("-inf"):
+            return float("inf")
+        return max(self.sim.now - newest, 0.0)
 
     def recover_proxy(self, proxy_name: str) -> None:
         """Bring a proxy back online."""
@@ -405,6 +471,7 @@ class FederatedSystem:
             )
         else:
             self.failovers += 1
+            self._failover_positions.append(len(self._query_log))
             answer = self._failover_answer(query, owner_name, routing_latency)
         self._query_log.append((query, answer))
         return answer
@@ -535,10 +602,32 @@ class FederatedSystem:
             fc.cell.finalise(horizon)
         return self._report(horizon)
 
+    def _failover_errors(
+        self, truths: list[float | None]
+    ) -> tuple[float, float]:
+        """(mean, max) |answer - truth| over answered failover queries.
+
+        This is the replica-answer fidelity bound: how far serving from
+        state frozen at the last sync diverged from the dead cell's
+        in-simulation truth.  NaN when no failover produced a comparable
+        answer.
+        """
+        errors = []
+        for position in self._failover_positions:
+            answer = self._query_log[position][1]
+            truth = truths[position]
+            if answer.value is None or truth is None or np.isnan(truth):
+                continue
+            errors.append(abs(answer.value - truth))
+        if not errors:
+            return float("nan"), float("nan")
+        return float(np.mean(errors)), float(np.max(errors))
+
     def _report(self, horizon: float) -> FederatedReport:
         cell_reports = [fc.cell.report(horizon) for fc in self.cells]
         answers = [answer for _, answer in self._query_log]
         truths = [ground_truth(self.trace, query) for query, _ in self._query_log]
+        failover_mean_error, failover_max_error = self._failover_errors(truths)
         by_category: dict[str, float] = {}
         for report in cell_reports:
             for category, joules in report.sensor_energy_by_category.items():
@@ -574,6 +663,12 @@ class FederatedSystem:
             cache_insertions=sum(r.cache_insertions for r in cell_reports),
             cache_refinements=sum(r.cache_refinements for r in cell_reports),
             cache_evictions=sum(r.cache_evictions for r in cell_reports),
+            archive_aged_segments=sum(
+                r.archive_aged_segments for r in cell_reports
+            ),
+            archive_worst_level=max(
+                (r.archive_worst_level for r in cell_reports), default=0
+            ),
             n_proxies=self.federation.n_proxies,
             shard_policy=self.federation.shard_policy,
             replication_factor=self.federation.replication_factor,
@@ -582,5 +677,10 @@ class FederatedSystem:
             failovers=self.failovers,
             unroutable=self.unroutable,
             replica_syncs=self.replica_syncs,
+            fault_staleness_s=tuple(
+                event.replica_staleness_s for event in self.failover_events
+            ),
+            failover_mean_error=failover_mean_error,
+            failover_max_error=failover_max_error,
             cell_reports=cell_reports,
         )

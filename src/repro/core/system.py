@@ -89,6 +89,11 @@ class SystemReport:
     cache_insertions: int = 0
     cache_refinements: int = 0
     cache_evictions: int = 0
+    #: archive segments the aging policy has compressed below full
+    #: resolution, fleet-wide — the wear-out sweeps' knee metric
+    archive_aged_segments: int = 0
+    #: worst (highest) resolution level any archived segment reached
+    archive_worst_level: int = 0
 
     # -- derived metrics ---------------------------------------------------
 
@@ -183,6 +188,8 @@ class SystemReport:
             "cache_insertions": float(self.cache_insertions),
             "cache_refinements": float(self.cache_refinements),
             "cache_evictions": float(self.cache_evictions),
+            "archive_aged_segments": float(self.archive_aged_segments),
+            "archive_worst_level": float(self.archive_worst_level),
         }
 
 
@@ -363,9 +370,15 @@ class PrestoCell:
         truths = [ground_truth(self.trace, query) for query, _ in self._query_log]
         fleet = EnergyMeter("fleet")
         per_sensor: list[float] = []
+        aged_segments = 0
+        worst_level = 0
         for sensor in self.sensors:
             fleet.merge(sensor.meter)
             per_sensor.append(sensor.meter.total_j)
+            for level, count in sensor.archive.resolution_profile().items():
+                if level > 0:
+                    aged_segments += count
+                    worst_level = max(worst_level, level)
         return SystemReport(
             duration_s=horizon,
             n_sensors=len(self.sensors),
@@ -387,6 +400,8 @@ class PrestoCell:
             cache_insertions=self.proxy.cache.insertions,
             cache_refinements=self.proxy.cache.refinements,
             cache_evictions=self.proxy.cache.evictions,
+            archive_aged_segments=aged_segments,
+            archive_worst_level=worst_level,
         )
 
 

@@ -81,6 +81,11 @@ class LplMac:
         self._uplink.config = link_config
         self._downlink.config = link_config
 
+    @property
+    def link_config(self) -> LinkConfig:
+        """The link regime currently governing both directions."""
+        return self._uplink.config
+
     def send_uplink(
         self, payload_bytes: int, energy_category: str = "radio.tx"
     ) -> TransferOutcome:

@@ -135,11 +135,33 @@ class Network:
         for mac in self._macs.values():
             mac.account_idle(duration_s)
 
+    def set_link_config(
+        self, link_config: LinkConfig, sensors: list[str] | None = None
+    ) -> None:
+        """Apply a new link regime to *sensors* (names), or to every MAC.
+
+        Targeted application is what correlated-regional-loss scenarios
+        need: an interference burst can hit one cell — or one hallway of
+        sensors within a cell — while the siblings keep their current
+        regime.  ``sensors=None`` retunes the whole star (and records the
+        config as the network default for later registrations).
+        """
+        if sensors is None:
+            self.link_config = link_config
+            targets = list(self._macs.values())
+        else:
+            unknown = [name for name in sensors if name not in self._macs]
+            if unknown:
+                raise ValueError(
+                    f"unknown sensors {unknown}; have {self.sensor_names}"
+                )
+            targets = [self._macs[name] for name in sensors]
+        for mac in targets:
+            mac.set_link_config(link_config)
+
     def set_link_config_all(self, link_config: LinkConfig) -> None:
         """Apply a new link regime to every sensor's MAC (both directions)."""
-        self.link_config = link_config
-        for mac in self._macs.values():
-            mac.set_link_config(link_config)
+        self.set_link_config(link_config)
 
     @property
     def delivery_ratio(self) -> float:

@@ -18,13 +18,16 @@ from repro.scenarios.runner import (
     ScenarioResult,
 )
 from repro.scenarios.spec import (
+    SWEEP_PARAMETERS,
     ClockRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
     StandingQuerySpec,
     StoragePressure,
+    SweepAxis,
     TracePerturbation,
+    WorkloadSpec,
 )
 
 __all__ = [
@@ -41,5 +44,8 @@ __all__ = [
     "ScenarioSpec",
     "StandingQuerySpec",
     "StoragePressure",
+    "SweepAxis",
+    "SWEEP_PARAMETERS",
     "TracePerturbation",
+    "WorkloadSpec",
 ]

@@ -17,11 +17,17 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     StandingQuerySpec,
     StoragePressure,
+    SweepAxis,
     TracePerturbation,
+    WorkloadSpec,
 )
 
 #: flash sized at a small fraction of a day's readings — forces aging mid-run
 STARVED_FLASH_BYTES = 40 * 264
+
+#: the wear-out sweep's descending capacities: ample -> starved -> dying.
+#: Descending order on purpose — the report reads as the aging knee.
+WEAR_OUT_CAPACITIES = (320 * 264, 80 * 264, 20 * 264)
 
 
 def builtin_scenarios() -> dict[str, ScenarioSpec]:
@@ -84,6 +90,63 @@ def builtin_scenarios() -> dict[str, ScenarioSpec]:
             description="LPL check interval swept across operating points",
             radio=RadioRegime(
                 loss_probability=0.1, duty_cycle_points=(0.5, 2.0, 8.0)
+            ),
+        ),
+        ScenarioSpec(
+            name="regional loss",
+            description="90% interference bursts on the last cell only",
+            radio=RadioRegime(
+                loss_probability=0.05,
+                burst_loss_probability=0.9,
+                burst_period_s=3 * 3600.0,
+                burst_duration_s=1800.0,
+                cell_indices=(-1,),
+            ),
+        ),
+        ScenarioSpec(
+            name="cascading failures",
+            description="rolling fail/recover cascade across two proxies",
+            faults=(
+                ProxyFault(proxy_index=-1, at_fraction=0.25, action="fail"),
+                ProxyFault(proxy_index=-1, at_fraction=0.45, action="recover"),
+                ProxyFault(proxy_index=-2, at_fraction=0.5, action="fail"),
+                ProxyFault(proxy_index=-2, at_fraction=0.7, action="recover"),
+                ProxyFault(proxy_index=-1, at_fraction=0.8, action="fail"),
+            ),
+        ),
+        ScenarioSpec(
+            name="flash wear-out",
+            description="flash capacity swept downward to the aging knee",
+            sweep=SweepAxis(
+                parameter="flash_capacity_bytes", values=WEAR_OUT_CAPACITIES
+            ),
+        ),
+        ScenarioSpec(
+            name="query surge",
+            description="6x query-arrival spike through a mid-run window",
+            workload=WorkloadSpec(
+                arrival_rate_per_s=1 / 120.0,
+                surge_multiplier=6.0,
+                surge_start_fraction=0.5,
+                surge_duration_fraction=0.2,
+            ),
+        ),
+        ScenarioSpec(
+            name="adversarial timing",
+            description="anomalies phase-locked to 90% loss bursts",
+            trace=TracePerturbation(
+                align_to_bursts=True,
+                event_magnitude=8.0,
+                event_duration_epochs=30,
+            ),
+            radio=RadioRegime(
+                loss_probability=0.2,
+                burst_loss_probability=0.9,
+                burst_period_s=3 * 3600.0,
+                burst_duration_s=1800.0,
+            ),
+            standing=StandingQuerySpec(
+                kind=TriggerKind.ABOVE, threshold_offset=4.0, min_interval_s=600.0
             ),
         ),
     )

@@ -14,6 +14,7 @@ injected ground truth.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,9 +26,15 @@ from repro.core.system import SystemReport
 from repro.radio.link import LinkConfig
 from repro.scenarios.spec import ScenarioSpec, StandingQuerySpec
 from repro.sync.clock import ClockModel
-from repro.traces.events import InjectedEvent, inject_events
+from repro.traces.events import (
+    EventKind,
+    InjectedEvent,
+    inject_events,
+    inject_events_at,
+)
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
 from repro.traces.workload import (
+    Query,
     QueryWorkloadConfig,
     QueryWorkloadGenerator,
     ShardedWorkloadGenerator,
@@ -40,6 +47,13 @@ HARNESSES = ("single", "federated")
 RECALL_ONSET_SLACK_EPOCHS = 2
 RECALL_TAIL_SLACK_EPOCHS = 4
 
+#: sweep-parameter shorthand used in variant labels ("flash=5280")
+SWEEP_LABELS = {
+    "flash_capacity_bytes": "flash",
+    "arrival_rate_per_s": "rate",
+    "loss_probability": "loss",
+}
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -49,6 +63,8 @@ class CampaignConfig:
     duration_days: float = 0.75
     epoch_s: float = 31.0
     seed: int = 7
+    #: default query arrival rate; a scenario's :class:`WorkloadSpec` can
+    #: override it (and add surge windows) per regime
     arrival_rate_per_s: float = 1 / 240.0
     harnesses: tuple[str, ...] = HARNESSES
     n_proxies: int = 3
@@ -103,14 +119,18 @@ class ScenarioResult:
 
     scenario: str
     harness: str
-    variant: str                 # e.g. "lpl=2.0s" for duty-cycle points
+    variant: str                 # e.g. "lpl=2s" / "flash=5280" sweep points
     report: SystemReport         # FederatedReport for the federated harness
     events_injected: int = 0
     qualifying_events: int = 0   # positive injected events a trigger should catch
     notifications: int = 0
     notification_recall: float = float("nan")
+    #: slowest notification of a caught qualifying event, from event onset
+    worst_notification_latency_s: float = float("nan")
     bursts_scheduled: int = 0
     faults_applied: int = 0
+    #: per-death replica staleness at failover (federated runs with faults)
+    replica_staleness_s: tuple[float, ...] = ()
 
     @property
     def label(self) -> str:
@@ -134,11 +154,15 @@ class ScenarioResult:
             "notification_recall": self.notification_recall,
             "notifications": float(self.notifications),
             "events_injected": float(self.events_injected),
+            "worst_notification_latency_s": self.worst_notification_latency_s,
+            "aged_segments": float(report.archive_aged_segments),
         }
         failovers = getattr(report, "failovers", None)
         if failovers is not None:
             out["failovers"] = float(failovers)
             out["unroutable"] = float(report.unroutable)
+            out["max_replica_staleness_s"] = report.max_replica_staleness_s
+            out["failover_mean_error"] = report.failover_mean_error
         return out
 
 
@@ -168,7 +192,7 @@ class CampaignReport:
     def to_table(self) -> str:
         """Fixed-width summary table of every run."""
         header = (
-            f"{'scenario':<20} {'harness':<9} {'variant':<9} {'success':>7} "
+            f"{'scenario':<20} {'harness':<9} {'variant':<12} {'success':>7} "
             f"{'err':>6} {'E/day J':>8} {'answered':>8} {'recall':>6} "
             f"{'notif':>5}  notes"
         )
@@ -186,9 +210,18 @@ class CampaignReport:
             unroutable = getattr(report, "unroutable", 0)
             if unroutable:
                 notes.append(f"unroutable={unroutable}")
+            finite_staleness = [
+                age for age in result.replica_staleness_s if np.isfinite(age)
+            ]
+            if finite_staleness:
+                notes.append(f"stale<={max(finite_staleness):.0f}s")
+            if np.isfinite(result.worst_notification_latency_s):
+                notes.append(
+                    f"notif_lat<={result.worst_notification_latency_s:.0f}s"
+                )
             lines.append(
                 f"{result.scenario:<20} {result.harness:<9} "
-                f"{result.variant or '-':<9} {report.success_rate:>7.3f} "
+                f"{result.variant or '-':<12} {report.success_rate:>7.3f} "
                 f"{report.mean_error:>6.3f} "
                 f"{report.sensor_energy_per_day_j:>8.2f} "
                 f"{report.answered_fraction:>8.3f} "
@@ -212,29 +245,67 @@ class CampaignRunner:
         for spec in scenarios:
             # One trace per scenario: every harness and sweep point replays
             # the identical perturbed signal (and saves the regeneration).
+            # No supported sweep parameter touches trace generation, so the
+            # share is exact across sweep points too.
             prepared = self._build_trace(spec)
             points: tuple[float | None, ...] = spec.radio.duty_cycle_points or (None,)
+            sweep_values: tuple[float | None, ...] = (
+                spec.sweep.values if spec.sweep is not None else (None,)
+            )
             for harness in self.config.harnesses:
-                for point in points:
-                    report.results.append(
-                        self.run_one(spec, harness, point, _prepared=prepared)
-                    )
+                for sweep_value in sweep_values:
+                    for point in points:
+                        report.results.append(
+                            self.run_one(
+                                spec,
+                                harness,
+                                point,
+                                sweep_value=sweep_value,
+                                _prepared=prepared,
+                            )
+                        )
         return report
+
+    @staticmethod
+    def _apply_sweep(spec: ScenarioSpec, value: float | None) -> ScenarioSpec:
+        """The spec with its sweep axis pinned to one *value* (or unchanged)."""
+        if value is None:
+            return spec
+        if spec.sweep is None:
+            raise ValueError("sweep value given for a scenario with no sweep axis")
+        parameter = spec.sweep.parameter
+        if parameter == "flash_capacity_bytes":
+            storage = dataclasses.replace(
+                spec.storage, flash_capacity_bytes=int(value)
+            )
+            return dataclasses.replace(spec, storage=storage)
+        if parameter == "arrival_rate_per_s":
+            workload = dataclasses.replace(spec.workload, arrival_rate_per_s=value)
+            return dataclasses.replace(spec, workload=workload)
+        if parameter == "loss_probability":
+            radio = dataclasses.replace(spec.radio, loss_probability=value)
+            return dataclasses.replace(spec, radio=radio)
+        # Unreachable while this chain covers spec.SWEEP_PARAMETERS; raising
+        # keeps a new parameter added there from silently sweeping the
+        # wrong knob here.
+        raise ValueError(f"no applier for sweep parameter {parameter!r}")
 
     def run_one(
         self,
         spec: ScenarioSpec,
         harness: str,
         duty_cycle_point: float | None = None,
+        sweep_value: float | None = None,
         _prepared: tuple[TraceSet, TraceSet, list[InjectedEvent]] | None = None,
     ) -> ScenarioResult:
-        """Run one scenario on one harness (optionally at one LPL point)."""
+        """Run one scenario on one harness (optionally at one sweep point)."""
         if harness not in HARNESSES:
             raise ValueError(f"unknown harness {harness!r}; expected {HARNESSES}")
         cfg = self.config
         base, trace, events = (
             _prepared if _prepared is not None else self._build_trace(spec)
         )
+        spec = self._apply_sweep(spec, sweep_value)
         presto = self._presto_config(spec, duty_cycle_point)
         clock_model = ClockModel(
             offset_std_s=spec.clocks.offset_std_s,
@@ -251,11 +322,7 @@ class CampaignRunner:
                 clock_model=clock_model,
             )
             proxies = [(system.proxy, lambda local: local)]
-            workload = QueryWorkloadGenerator(
-                trace.n_sensors,
-                QueryWorkloadConfig(arrival_rate_per_s=cfg.arrival_rate_per_s),
-                np.random.default_rng(cfg.seed + 2),
-            )
+            shards = None
             networks = [system.network]
         else:
             system = FederatedSystem(
@@ -273,36 +340,98 @@ class CampaignRunner:
             proxies = [
                 (fc.cell.proxy, fc.to_global) for fc in system.cells
             ]
-            workload = ShardedWorkloadGenerator(
-                system.shards,
-                QueryWorkloadConfig(arrival_rate_per_s=cfg.arrival_rate_per_s),
-                np.random.default_rng(cfg.seed + 2),
-            )
+            shards = system.shards
             networks = [fc.cell.network for fc in system.cells]
             faults_applied = self._schedule_faults(spec, system)
         armed = self._arm_standing_queries(spec, base, proxies)
         bursts = self._schedule_bursts(spec, system.sim, networks)
-        # Queries start after a warm-up — an hour, clamped for horizons so
-        # short that a fixed hour would leave an empty arrival interval.
-        warmup_s = min(3600.0, 0.1 * cfg.duration_s)
-        queries = workload.generate(warmup_s, cfg.duration_s)
+        queries = self._generate_queries(spec, trace, shards)
         report = system.run(queries=queries, duration_s=cfg.duration_s)
         notifications = self._collect_notifications(proxies) if armed else []
-        recall, qualifying = self._notification_recall(spec, events, notifications)
+        recall, qualifying, worst_latency = self._notification_recall(
+            spec, events, notifications
+        )
         return ScenarioResult(
             scenario=spec.name,
             harness=harness,
-            variant=(
-                f"lpl={duty_cycle_point:g}s" if duty_cycle_point is not None else ""
-            ),
+            variant=self._variant_label(spec, duty_cycle_point, sweep_value),
             report=report,
             events_injected=len(events),
             qualifying_events=qualifying,
             notifications=len(notifications),
             notification_recall=recall,
+            worst_notification_latency_s=worst_latency,
             bursts_scheduled=bursts,
             faults_applied=faults_applied,
+            replica_staleness_s=tuple(getattr(report, "fault_staleness_s", ())),
         )
+
+    @staticmethod
+    def _variant_label(
+        spec: ScenarioSpec,
+        duty_cycle_point: float | None,
+        sweep_value: float | None,
+    ) -> str:
+        """Label distinguishing this run among the scenario's sweep points."""
+        parts = []
+        if sweep_value is not None and spec.sweep is not None:
+            parts.append(f"{SWEEP_LABELS[spec.sweep.parameter]}={sweep_value:g}")
+        if duty_cycle_point is not None:
+            parts.append(f"lpl={duty_cycle_point:g}s")
+        return ",".join(parts)
+
+    def _generate_queries(
+        self,
+        spec: ScenarioSpec,
+        trace: TraceSet,
+        shards: list[list[int]] | None,
+    ) -> list[Query]:
+        """The scenario's query stream, including any surge window.
+
+        Queries start after a warm-up — an hour, clamped for horizons so
+        short that a fixed hour would leave an empty arrival interval.  A
+        surge is a second, independent Poisson stream at ``(multiplier - 1)
+        x rate`` merged over the surge window: the superposition of the
+        two is exactly a Poisson process at ``multiplier x rate`` there.
+        """
+        cfg = self.config
+        workload = spec.workload
+        rate = (
+            workload.arrival_rate_per_s
+            if workload.arrival_rate_per_s is not None
+            else cfg.arrival_rate_per_s
+        )
+
+        def make_generator(rate_per_s: float, seed: int) -> QueryWorkloadGenerator:
+            config = QueryWorkloadConfig(arrival_rate_per_s=rate_per_s)
+            rng = np.random.default_rng(seed)
+            if shards is None:
+                return QueryWorkloadGenerator(trace.n_sensors, config, rng)
+            return ShardedWorkloadGenerator(shards, config, rng)
+
+        warmup_s = min(3600.0, 0.1 * cfg.duration_s)
+        queries = make_generator(rate, cfg.seed + 2).generate(
+            warmup_s, cfg.duration_s
+        )
+        if workload.surges:
+            start = max(workload.surge_start_fraction * cfg.duration_s, warmup_s)
+            end = min(
+                (workload.surge_start_fraction + workload.surge_duration_fraction)
+                * cfg.duration_s,
+                cfg.duration_s,
+            )
+            if end > start:
+                extra = make_generator(
+                    rate * (workload.surge_multiplier - 1.0), cfg.seed + 23
+                ).generate(start, end)
+                merged = sorted(
+                    queries + extra, key=lambda query: query.arrival_time
+                )
+                queries = [
+                    dataclasses.replace(query, query_id=index)
+                    for index, query in enumerate(merged)
+                ]
+        return queries
 
     # -- run assembly ------------------------------------------------------------
 
@@ -320,6 +449,23 @@ class CampaignRunner:
         base = IntelLabGenerator(trace_config, seed=cfg.seed).generate()
         if not spec.injects_events:
             return base, base, []
+        if spec.trace.align_to_bursts:
+            # Adversarial timing: one event per sensor at every burst onset,
+            # exactly when the channel is at its worst.  Positive STEP
+            # events, so ABOVE standing queries always qualify.
+            placements = [
+                (sensor, int(round(start_s / cfg.epoch_s)))
+                for start_s in self._burst_starts(spec)
+                for sensor in range(cfg.n_sensors)
+            ]
+            trace, events = inject_events_at(
+                base,
+                placements,
+                magnitude=abs(spec.trace.event_magnitude),
+                duration_epochs=spec.trace.event_duration_epochs,
+                kind=EventKind.STEP,
+            )
+            return base, trace, events
         trace, events = inject_events(
             base,
             np.random.default_rng(cfg.seed + 13),
@@ -328,6 +474,17 @@ class CampaignRunner:
             duration_epochs=spec.trace.event_duration_epochs,
         )
         return base, trace, events
+
+    def _burst_starts(self, spec: ScenarioSpec) -> list[float]:
+        """Virtual start times of every interference burst in the run."""
+        if spec.radio.burst_loss_probability is None:
+            return []
+        starts = []
+        start = spec.radio.burst_period_s
+        while start < self.config.duration_s:
+            starts.append(start)
+            start += spec.radio.burst_period_s
+        return starts
 
     def _presto_config(
         self, spec: ScenarioSpec, duty_cycle_point: float | None
@@ -370,20 +527,39 @@ class CampaignRunner:
         return len(spec.faults)
 
     def _schedule_bursts(self, spec: ScenarioSpec, sim, networks) -> int:
-        """Schedule interference bursts: elevated loss for burst_duration_s."""
+        """Schedule interference bursts: elevated loss for burst_duration_s.
+
+        With ``cell_indices`` set, only the addressed cells' networks flip
+        — correlated regional loss, the siblings keeping their regime.
+        Indices must resolve on every harness the campaign runs; negative
+        indices address the wireless tail of the cell list and resolve
+        portably (``-1`` is the whole deployment on the single-cell
+        harness, the last wireless cell on the federated one).
+        """
         radio = spec.radio
         if radio.burst_loss_probability is None:
             return 0
+        if radio.cell_indices:
+            n_cells = len(networks)
+            for index in radio.cell_indices:
+                if not -n_cells <= index < n_cells:
+                    raise ValueError(
+                        f"burst cell index {index} out of range for "
+                        f"{n_cells} cells"
+                    )
+            targets = [networks[index] for index in radio.cell_indices]
+        else:
+            targets = list(networks)
         normal = LinkConfig(loss_probability=radio.loss_probability)
         burst = LinkConfig(loss_probability=radio.burst_loss_probability)
 
         def apply():
-            for network in networks:
-                network.set_link_config_all(burst)
+            for network in targets:
+                network.set_link_config(burst)
 
         def restore():
-            for network in networks:
-                network.set_link_config_all(normal)
+            for network in targets:
+                network.set_link_config(normal)
 
         count = 0
         start = radio.burst_period_s
@@ -443,17 +619,20 @@ class CampaignRunner:
         spec: ScenarioSpec,
         events: list[InjectedEvent],
         notifications: list[tuple[int, Notification]],
-    ) -> tuple[float, int]:
-        """Fraction of qualifying injected events that produced a notification.
+    ) -> tuple[float, int, float]:
+        """(recall, qualifying count, worst latency) against injected truth.
 
         Qualifying events push the signal *toward* the armed trigger:
         positive-magnitude events for ABOVE, negative for BELOW, any for
-        DELTA.  NaN when the scenario armed no standing query or injected
-        no qualifying event — no evidence, not a perfect score.
+        DELTA.  Recall is NaN when the scenario armed no standing query or
+        injected no qualifying event — no evidence, not a perfect score.
+        Worst latency is the slowest first-notification among *caught*
+        events, measured from the event's onset epoch (NaN with no
+        catches): the bound adversarial-timing scenarios exist to measure.
         """
         standing = spec.standing
         if standing is None or not events:
-            return float("nan"), 0
+            return float("nan"), 0, float("nan")
         if standing.kind is TriggerKind.ABOVE:
             qualifying = [e for e in events if e.magnitude > 0]
         elif standing.kind is TriggerKind.BELOW:
@@ -461,18 +640,26 @@ class CampaignRunner:
         else:
             qualifying = list(events)
         if not qualifying:
-            return float("nan"), 0
+            return float("nan"), 0, float("nan")
         epoch_s = self.config.epoch_s
         times_by_sensor: dict[int, list[float]] = {}
         for sensor, notification in notifications:
             times_by_sensor.setdefault(sensor, []).append(notification.timestamp)
         hits = 0
+        worst_latency = float("nan")
         for event in qualifying:
-            onset = event.start_epoch * epoch_s - RECALL_ONSET_SLACK_EPOCHS * epoch_s
+            event_start = event.start_epoch * epoch_s
+            onset = event_start - RECALL_ONSET_SLACK_EPOCHS * epoch_s
             stop = event.end_epoch * epoch_s + RECALL_TAIL_SLACK_EPOCHS * epoch_s
-            if any(
-                onset <= timestamp <= stop
+            in_window = [
+                timestamp
                 for timestamp in times_by_sensor.get(event.sensor, [])
-            ):
+                if onset <= timestamp <= stop
+            ]
+            if in_window:
                 hits += 1
-        return hits / len(qualifying), len(qualifying)
+                # Early (pre-onset slack) notifications count as latency 0.
+                latency = max(min(in_window) - event_start, 0.0)
+                if not latency <= worst_latency:  # NaN-safe running max
+                    worst_latency = latency
+        return hits / len(qualifying), len(qualifying), worst_latency

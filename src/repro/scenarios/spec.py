@@ -30,6 +30,11 @@ class TracePerturbation:
     event_rate_per_sensor_day: float = 0.0
     event_magnitude: float = 8.0         # injected anomaly size (signal units)
     event_duration_epochs: int = 20
+    #: adversarial timing: place one event per sensor at the onset of every
+    #: interference burst instead of drawing Poisson times — the anomaly
+    #: arrives exactly when the channel is at its worst, so notification
+    #: latency is measured at its bound, not its average.
+    align_to_bursts: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.dropout_rate < 1.0:
@@ -38,6 +43,11 @@ class TracePerturbation:
             raise ValueError("event rate must be >= 0")
         if self.event_duration_epochs < 1:
             raise ValueError("event duration must be >= 1 epoch")
+        if self.align_to_bursts and self.event_rate_per_sensor_day > 0:
+            raise ValueError(
+                "align_to_bursts replaces the Poisson draw; leave "
+                "event_rate_per_sensor_day at 0"
+            )
 
 
 @dataclass(frozen=True)
@@ -48,6 +58,11 @@ class RadioRegime:
     burst_loss_probability: float | None = None   # elevated loss during bursts
     burst_period_s: float = 4 * 3600.0   # one burst starts every period
     burst_duration_s: float = 1800.0
+    #: which cells the bursts hit (python indexing into the cell list,
+    #: negatives from the end).  Empty = every cell — the legacy
+    #: fleet-wide regime.  A non-empty tuple is correlated *regional*
+    #: loss: the addressed cells' links flip while siblings stay clean.
+    cell_indices: tuple[int, ...] = ()
     #: LPL check intervals to sweep (one run per point); empty = cell default.
     duty_cycle_points: tuple[float, ...] = ()
 
@@ -70,6 +85,13 @@ class RadioRegime:
                 )
         if any(point <= 0 for point in self.duty_cycle_points):
             raise ValueError("duty-cycle points must be positive seconds")
+        if self.cell_indices and self.burst_loss_probability is None:
+            raise ValueError(
+                "cell_indices target interference bursts; set "
+                "burst_loss_probability"
+            )
+        if len(set(self.cell_indices)) != len(self.cell_indices):
+            raise ValueError(f"duplicate cell indices {self.cell_indices}")
 
 
 @dataclass(frozen=True)
@@ -123,6 +145,82 @@ class StandingQuerySpec:
 
 
 @dataclass(frozen=True)
+class WorkloadSpec:
+    """The query arrival process, per scenario.
+
+    ``arrival_rate_per_s=None`` inherits the campaign default, so benign
+    scenarios still share one workload sizing; a surge multiplies the rate
+    inside a window of the run — the stadium-event spike the ROADMAP's
+    workload-surge backlog item asks for.
+    """
+
+    arrival_rate_per_s: float | None = None   # None = campaign default
+    surge_multiplier: float = 1.0             # x rate inside the surge window
+    surge_start_fraction: float = 0.5         # of the run duration
+    surge_duration_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s is not None and self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.surge_multiplier < 1.0:
+            raise ValueError(
+                f"surge multiplier must be >= 1, got {self.surge_multiplier}"
+            )
+        if not 0.0 <= self.surge_start_fraction < 1.0:
+            raise ValueError("surge start must be in [0,1) of the run")
+        if not 0.0 < self.surge_duration_fraction <= 1.0:
+            raise ValueError("surge duration must be in (0,1] of the run")
+        if self.surge_start_fraction + self.surge_duration_fraction > 1.0:
+            raise ValueError("surge window must end within the run")
+
+    @property
+    def surges(self) -> bool:
+        """Whether this workload has a surge window at all."""
+        return self.surge_multiplier > 1.0
+
+
+#: scenario parameters a :class:`SweepAxis` may vary, and how each value
+#: is applied to the spec (see ``CampaignRunner._apply_sweep``)
+SWEEP_PARAMETERS = (
+    "flash_capacity_bytes",
+    "arrival_rate_per_s",
+    "loss_probability",
+)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """A first-class parameter sweep: one scenario, one run per point.
+
+    Where ``duty_cycle_points`` sweeps the radio operating point, a
+    ``SweepAxis`` sweeps any supported scenario knob — descending
+    ``flash_capacity_bytes`` traces the wear-out knee, ascending
+    ``arrival_rate_per_s`` traces saturation — and every point lands as a
+    variant row of the *same* scenario in the campaign report.
+    """
+
+    parameter: str
+    values: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.parameter not in SWEEP_PARAMETERS:
+            raise ValueError(
+                f"unknown sweep parameter {self.parameter!r}; "
+                f"supported: {SWEEP_PARAMETERS}"
+            )
+        if not self.values:
+            raise ValueError("a sweep needs at least one value")
+        if any(value <= 0 for value in self.values):
+            raise ValueError(f"sweep values must be positive, got {self.values}")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"duplicate sweep values {self.values}")
+        if self.parameter == "loss_probability" and any(
+            value >= 1.0 for value in self.values
+        ):
+            raise ValueError("loss-probability sweep values must be < 1")
+
+
+@dataclass(frozen=True)
 class ProxyFault:
     """One scheduled proxy failure or recovery (federated harness only)."""
 
@@ -149,14 +247,27 @@ class ScenarioSpec:
     radio: RadioRegime = field(default_factory=RadioRegime)
     storage: StoragePressure = field(default_factory=StoragePressure)
     clocks: ClockRegime = field(default_factory=ClockRegime)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     standing: StandingQuerySpec | None = None
     faults: tuple[ProxyFault, ...] = ()
+    sweep: SweepAxis | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenarios need a name")
+        fractions = [fault.at_fraction for fault in self.faults]
+        if fractions != sorted(fractions):
+            raise ValueError(
+                "fault schedules must be ordered by at_fraction (a cascade "
+                f"reads in time order); got {fractions}"
+            )
+        if self.trace.align_to_bursts and self.radio.burst_loss_probability is None:
+            raise ValueError(
+                "align_to_bursts phase-locks events to interference bursts; "
+                "the radio regime has none (set burst_loss_probability)"
+            )
 
     @property
     def injects_events(self) -> bool:
         """Whether the scenario perturbs the trace with ground-truth events."""
-        return self.trace.event_rate_per_sensor_day > 0
+        return self.trace.event_rate_per_sensor_day > 0 or self.trace.align_to_bursts

@@ -96,6 +96,58 @@ def inject_events(
     return modified, events
 
 
+def inject_events_at(
+    trace: TraceSet,
+    placements: list[tuple[int, int]],
+    magnitude: float = 5.0,
+    duration_epochs: int = 20,
+    kind: EventKind = EventKind.STEP,
+) -> tuple[TraceSet, list[InjectedEvent]]:
+    """Inject one anomaly per ``(sensor, start_epoch)`` placement, exactly.
+
+    The adversarial-timing scenarios need events phase-locked to channel
+    conditions (a burst onset, a blackout window) rather than Poisson
+    times, so placement is the caller's and only the shape is shared with
+    :func:`inject_events`.  Placements that would overlap an earlier event
+    on the same sensor, or start outside the trace, are skipped — the
+    returned ground truth lists only what was actually injected.
+    """
+    if duration_epochs < 1:
+        raise ValueError(f"duration must be >= 1 epoch, got {duration_epochs}")
+    values = trace.values.copy()
+    events: list[InjectedEvent] = []
+    occupied: dict[int, list[tuple[int, int]]] = {}
+    shape = _event_shape(kind, duration_epochs)
+    for sensor, start in placements:
+        if not 0 <= sensor < trace.n_sensors:
+            raise ValueError(f"sensor {sensor} outside the trace")
+        if not 0 <= start < trace.n_epochs:
+            continue
+        span = (start, start + duration_epochs)
+        if any(s < span[1] and span[0] < e for s, e in occupied.get(sensor, [])):
+            continue
+        stop = min(span[1], trace.n_epochs)
+        values[sensor, start:stop] += magnitude * shape[: stop - start]
+        occupied.setdefault(sensor, []).append(span)
+        events.append(
+            InjectedEvent(
+                sensor=sensor,
+                start_epoch=start,
+                duration_epochs=duration_epochs,
+                magnitude=magnitude,
+                kind=kind,
+            )
+        )
+    modified = TraceSet(
+        timestamps=trace.timestamps.copy(),
+        values=values,
+        config=trace.config,
+        clean_values=trace.clean_values,
+    )
+    events.sort(key=lambda e: (e.start_epoch, e.sensor))
+    return modified, events
+
+
 def _event_shape(kind: EventKind, duration: int) -> np.ndarray:
     """Unit-magnitude time profile of an event."""
     if kind is EventKind.SPIKE:

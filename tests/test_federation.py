@@ -377,3 +377,93 @@ class TestTraceSubset:
             trace.subset([0, 0])
         with pytest.raises(ValueError):
             trace.subset([0, 9])
+
+
+class TestReplicaStaleness:
+    """Per-death staleness accounting and failover-answer fidelity."""
+
+    def test_staleness_recorded_per_death(self, federated_run):
+        system, report, kill_at = federated_run
+        assert len(system.failover_events) == 1
+        event = system.failover_events[0]
+        assert event.proxy == "proxy3"
+        assert event.at_s == pytest.approx(kill_at)
+        # the replica was synced within one sync interval of the death
+        assert 0.0 <= event.replica_staleness_s
+        assert event.replica_staleness_s <= (
+            system.federation.replica_sync_interval_s + 120.0
+        )
+        assert report.fault_staleness_s == (event.replica_staleness_s,)
+        assert report.max_replica_staleness_s == pytest.approx(
+            event.replica_staleness_s
+        )
+
+    def test_staleness_infinite_before_first_sync(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(n_proxies=2, replication_factor=1),
+            seed=3,
+        )
+        # nothing has synced yet: a death right now has no replica to lean on
+        assert system.replica_staleness_s("proxy1") == float("inf")
+        system.fail_proxy("proxy1")
+        assert system.failover_events[-1].replica_staleness_s == float("inf")
+
+    def test_staleness_infinite_without_replication(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(n_proxies=2, replication_factor=0),
+            seed=3,
+        )
+        assert system.replica_staleness_s("proxy1") == float("inf")
+
+    def test_unknown_proxy_rejected(self):
+        trace = make_trace(n_sensors=4, duration_s=3600.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(n_proxies=2, replication_factor=1),
+            seed=3,
+        )
+        with pytest.raises(ValueError):
+            system.replica_staleness_s("proxy9")
+
+    def test_failover_fidelity_bounded(self, federated_run):
+        """Replica answers diverge boundedly from the dead cell's truth."""
+        _, report, _ = federated_run
+        assert report.failovers > 0
+        assert np.isfinite(report.failover_mean_error)
+        assert report.failover_mean_error <= report.failover_max_error
+        # frozen-at-sync state plus model forecasts must stay within a few
+        # signal units of the in-simulation truth over a sync interval
+        assert report.failover_max_error < 5.0
+
+    def test_failover_error_nan_without_failures(self):
+        trace = make_trace(n_sensors=4, duration_s=0.2 * 86_400.0)
+        system = FederatedSystem(
+            trace,
+            fast_config(),
+            FederationConfig(n_proxies=2, replication_factor=1),
+            seed=3,
+        )
+        workload = ShardedWorkloadGenerator(
+            system.shards,
+            QueryWorkloadConfig(arrival_rate_per_s=1 / 600.0),
+            np.random.default_rng(3),
+        )
+        report = system.run(
+            queries=workload.generate(3600.0, trace.config.duration_s)
+        )
+        assert report.fault_staleness_s == ()
+        assert np.isnan(report.max_replica_staleness_s)
+        assert np.isnan(report.failover_mean_error)
+
+    def test_summary_carries_staleness_and_fidelity(self, federated_run):
+        _, report, _ = federated_run
+        summary = report.summary()
+        assert summary["max_replica_staleness_s"] == report.max_replica_staleness_s
+        assert summary["failover_mean_error"] == report.failover_mean_error

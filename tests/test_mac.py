@@ -90,3 +90,23 @@ class TestRetune:
         mac.send_downlink(8)
         assert mac.stats.uplink_frames == 2
         assert mac.stats.downlink_frames == 1
+
+
+class TestLinkSwap:
+    def test_link_config_property_tracks_swap(self):
+        mac, _, _ = make_mac(loss=0.0)
+        original = mac.link_config
+        assert original.loss_probability == 0.0
+        elevated = LinkConfig(loss_probability=0.5)
+        mac.set_link_config(elevated)
+        assert mac.link_config is elevated
+        mac.set_link_config(original)
+        assert mac.link_config is original
+
+    def test_swap_changes_loss_behaviour_immediately(self):
+        mac, _, _ = make_mac(loss=0.0, seed=3)
+        for _ in range(20):
+            assert mac.send_uplink(8).delivered
+        mac.set_link_config(LinkConfig(loss_probability=0.95, max_retries=0))
+        outcomes = [mac.send_uplink(8).delivered for _ in range(40)]
+        assert not all(outcomes)

@@ -116,3 +116,46 @@ class TestPacketValidation:
         a = Packet(PacketKind.PUSH, "a", "b", 1)
         b = Packet(PacketKind.PUSH, "a", "b", 1)
         assert a.packet_id != b.packet_id
+
+
+class TestTargetedLinkConfig:
+    """Per-sensor/per-cell link retuning for regional-loss scenarios."""
+
+    def test_targeted_burst_flips_only_addressed_sensors(self):
+        _, network, _, _ = make_network(loss=0.0, n_sensors=3)
+        original = network.link_config
+        burst = LinkConfig(loss_probability=0.9)
+        network.set_link_config(burst, sensors=["s1"])
+        assert network.mac_for("s1").link_config is burst
+        for name in ("s0", "s2"):
+            assert network.mac_for(name).link_config is original
+        # the network default stays what later registrations should get
+        assert network.link_config is original
+
+    def test_targeted_restore_returns_original_config(self):
+        _, network, _, _ = make_network(loss=0.0, n_sensors=2)
+        original = network.link_config
+        burst = LinkConfig(loss_probability=0.9)
+        network.set_link_config(burst, sensors=["s0"])
+        network.set_link_config(original, sensors=["s0"])
+        for name in ("s0", "s1"):
+            assert network.mac_for(name).link_config is original
+
+    def test_unknown_target_rejected(self):
+        _, network, _, _ = make_network(n_sensors=2)
+        before = [network.mac_for(n).link_config for n in network.sensor_names]
+        with pytest.raises(ValueError, match="unknown sensors"):
+            network.set_link_config(
+                LinkConfig(loss_probability=0.5), sensors=["s1", "nope"]
+            )
+        # a rejected call must not have partially applied
+        after = [network.mac_for(n).link_config for n in network.sensor_names]
+        assert after == before
+
+    def test_set_all_updates_default_and_every_mac(self):
+        _, network, _, _ = make_network(loss=0.0, n_sensors=3)
+        burst = LinkConfig(loss_probability=0.7)
+        network.set_link_config_all(burst)
+        assert network.link_config is burst
+        for name in network.sensor_names:
+            assert network.mac_for(name).link_config is burst

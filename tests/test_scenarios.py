@@ -1,21 +1,32 @@
 """Unit + integration tests for the scenario-campaign engine."""
 
+import dataclasses
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.continuous import TriggerKind
+from repro.energy.constants import MICA2_RADIO
+from repro.energy.duty_cycle import DutyCycleConfig
+from repro.energy.meter import EnergyMeter
+from repro.radio.link import LinkConfig
+from repro.radio.network import Network, NetworkNode
 from repro.scenarios import (
     CampaignConfig,
     CampaignRunner,
+    ClockRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
     StandingQuerySpec,
     StoragePressure,
+    SweepAxis,
     TracePerturbation,
+    WorkloadSpec,
     builtin_scenarios,
 )
+from repro.simulation.kernel import Simulator
 
 REQUIRED_SCENARIOS = (
     "lossy uplink",
@@ -24,6 +35,28 @@ REQUIRED_SCENARIOS = (
     "event storm",
     "drift storm",
     "duty-cycle sweep",
+    "regional loss",
+    "cascading failures",
+    "flash wear-out",
+    "query surge",
+    "adversarial timing",
+)
+
+#: the exact built-in library, pinned: a library edit that renames or drops
+#: a scenario must be deliberate (and update the regression history too)
+BUILTIN_NAMES = (
+    "nominal",
+    "lossy uplink",
+    "storage starvation",
+    "proxy blackout",
+    "event storm",
+    "drift storm",
+    "duty-cycle sweep",
+    "regional loss",
+    "cascading failures",
+    "flash wear-out",
+    "query surge",
+    "adversarial timing",
 )
 
 
@@ -91,12 +124,159 @@ class TestSpecValidation:
         assert config.n_proxies == 3  # irrelevant but accepted
 
 
+#: (sub-spec class, invalid kwargs) — every validator, every rejection path
+INVALID_SUBSPEC_CASES = [
+    (TracePerturbation, {"dropout_rate": 1.0}),
+    (TracePerturbation, {"dropout_rate": -0.01}),
+    (TracePerturbation, {"event_rate_per_sensor_day": -1.0}),
+    (TracePerturbation, {"event_duration_epochs": 0}),
+    (TracePerturbation, {"align_to_bursts": True, "event_rate_per_sensor_day": 1.0}),
+    (RadioRegime, {"loss_probability": 1.0}),
+    (RadioRegime, {"loss_probability": -0.1}),
+    (RadioRegime, {"burst_loss_probability": 1.2}),
+    (RadioRegime, {"burst_loss_probability": 0.5, "burst_period_s": 0.0}),
+    (RadioRegime, {"burst_loss_probability": 0.5, "burst_duration_s": -1.0}),
+    (
+        RadioRegime,
+        {
+            "burst_loss_probability": 0.5,
+            "burst_period_s": 1800.0,
+            "burst_duration_s": 1800.0,
+        },
+    ),
+    (RadioRegime, {"duty_cycle_points": (1.0, 0.0)}),
+    (RadioRegime, {"cell_indices": (0,)}),  # targeting without bursts
+    (RadioRegime, {"burst_loss_probability": 0.5, "cell_indices": (1, 1)}),
+    (StoragePressure, {"flash_capacity_bytes": 0}),
+    (StoragePressure, {"segment_readings": 0}),
+    (StoragePressure, {"aging_max_level": 0}),
+    (ClockRegime, {"offset_std_s": -1.0}),
+    (ClockRegime, {"skew_ppm_std": -0.5}),
+    (WorkloadSpec, {"arrival_rate_per_s": 0.0}),
+    (WorkloadSpec, {"arrival_rate_per_s": -1.0}),
+    (WorkloadSpec, {"surge_multiplier": 0.5}),
+    (WorkloadSpec, {"surge_start_fraction": 1.0}),
+    (WorkloadSpec, {"surge_start_fraction": -0.1}),
+    (WorkloadSpec, {"surge_duration_fraction": 0.0}),
+    (WorkloadSpec, {"surge_start_fraction": 0.9, "surge_duration_fraction": 0.2}),
+    (StandingQuerySpec, {"min_interval_s": -1.0}),
+    (StandingQuerySpec, {"kind": TriggerKind.DELTA, "threshold_offset": 0.0}),
+    (ProxyFault, {"at_fraction": 0.0}),
+    (ProxyFault, {"at_fraction": 1.0}),
+    (ProxyFault, {"action": "pause"}),
+    (SweepAxis, {"parameter": "unknown_knob", "values": (1.0,)}),
+    (SweepAxis, {"parameter": "flash_capacity_bytes", "values": ()}),
+    (SweepAxis, {"parameter": "flash_capacity_bytes", "values": (0.0,)}),
+    (SweepAxis, {"parameter": "flash_capacity_bytes", "values": (8.0, 8.0)}),
+    (SweepAxis, {"parameter": "loss_probability", "values": (1.5,)}),
+]
+
+#: one benign instance of every frozen sub-spec
+FROZEN_SUBSPEC_INSTANCES = [
+    TracePerturbation(),
+    RadioRegime(),
+    StoragePressure(),
+    ClockRegime(),
+    WorkloadSpec(),
+    StandingQuerySpec(),
+    ProxyFault(),
+    SweepAxis(parameter="loss_probability", values=(0.2,)),
+    ScenarioSpec(name="frozen-probe"),
+]
+
+
+class TestSpecProperties:
+    """Property-style coverage of every sub-spec validator."""
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        INVALID_SUBSPEC_CASES,
+        ids=[
+            f"{cls.__name__}-{'-'.join(kwargs)}"
+            for cls, kwargs in INVALID_SUBSPEC_CASES
+        ],
+    )
+    def test_invalid_fields_always_raise(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(**kwargs)
+
+    @pytest.mark.parametrize(
+        "instance",
+        FROZEN_SUBSPEC_INSTANCES,
+        ids=[type(i).__name__ for i in FROZEN_SUBSPEC_INSTANCES],
+    )
+    def test_frozen_specs_reject_mutation(self, instance):
+        field_name = dataclasses.fields(instance)[0].name
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(instance, field_name, object())
+
+    def test_default_spec_is_exactly_nominal(self):
+        spec = ScenarioSpec(name="x")
+        assert spec.trace == TracePerturbation()
+        assert spec.radio == RadioRegime()
+        assert spec.storage == StoragePressure()
+        assert spec.clocks == ClockRegime()
+        assert spec.workload == WorkloadSpec()
+        assert not spec.workload.surges
+        assert spec.standing is None
+        assert spec.faults == ()
+        assert spec.sweep is None
+        assert not spec.injects_events
+
+    def test_unordered_fault_cascade_rejected(self):
+        with pytest.raises(ValueError, match="ordered"):
+            ScenarioSpec(
+                name="x",
+                faults=(
+                    ProxyFault(proxy_index=-1, at_fraction=0.6, action="fail"),
+                    ProxyFault(proxy_index=-1, at_fraction=0.3, action="recover"),
+                ),
+            )
+
+    def test_align_to_bursts_requires_bursts(self):
+        with pytest.raises(ValueError, match="burst"):
+            ScenarioSpec(
+                name="x", trace=TracePerturbation(align_to_bursts=True)
+            )
+
+    def test_align_to_bursts_counts_as_injecting(self):
+        spec = ScenarioSpec(
+            name="x",
+            trace=TracePerturbation(align_to_bursts=True),
+            radio=RadioRegime(burst_loss_probability=0.8),
+        )
+        assert spec.injects_events
+
+
 class TestLibrary:
     def test_required_scenarios_present(self):
         specs = builtin_scenarios()
-        assert len(specs) >= 6
+        assert len(specs) >= 12
         for name in REQUIRED_SCENARIOS:
             assert name in specs, f"missing built-in scenario {name!r}"
+
+    def test_builtin_names_and_count_pinned(self):
+        """Library edits must be deliberate — names and order are the API."""
+        assert tuple(builtin_scenarios()) == BUILTIN_NAMES
+
+    def test_injects_events_matches_trace_perturbation(self):
+        """`injects_events` must stay derivable from the trace sub-spec, so
+        recall metrics can never silently detach from their ground truth."""
+        for name, spec in builtin_scenarios().items():
+            expected = (
+                spec.trace.event_rate_per_sensor_day > 0
+                or spec.trace.align_to_bursts
+            )
+            assert spec.injects_events == expected, name
+
+    def test_event_injecting_builtins_arm_standing_queries(self):
+        """Injected ground truth without a standing query would orphan the
+        notification-recall metric (always NaN) — forbid it in the library."""
+        for name, spec in builtin_scenarios().items():
+            if spec.injects_events:
+                assert spec.standing is not None, (
+                    f"{name!r} injects events but arms no standing query"
+                )
 
     def test_every_builtin_described(self):
         for spec in builtin_scenarios().values():
@@ -105,6 +285,19 @@ class TestLibrary:
     def test_sweep_carries_points(self):
         sweep = builtin_scenarios()["duty-cycle sweep"]
         assert len(sweep.radio.duty_cycle_points) >= 3
+
+    def test_wear_out_sweep_descends(self):
+        sweep = builtin_scenarios()["flash wear-out"].sweep
+        assert sweep is not None
+        assert sweep.parameter == "flash_capacity_bytes"
+        assert list(sweep.values) == sorted(sweep.values, reverse=True)
+
+    def test_cascade_schedule_is_ordered_with_multiple_deaths(self):
+        faults = builtin_scenarios()["cascading failures"].faults
+        assert len(faults) >= 4
+        assert sum(1 for f in faults if f.action == "fail") >= 2
+        fractions = [f.at_fraction for f in faults]
+        assert fractions == sorted(fractions)
 
 
 @pytest.fixture(scope="module")
@@ -221,3 +414,272 @@ class TestBursts:
         runner = CampaignRunner(small_config(duration_days=0.02))
         result = runner.run_one(ScenarioSpec(name="tiny"), "single")
         assert len(result.report.answers) > 0
+
+
+@pytest.fixture(scope="module")
+def adverse_campaign():
+    """One small campaign over the five new adverse built-ins + nominal."""
+    specs = builtin_scenarios()
+    runner = CampaignRunner(small_config())
+    report = runner.run(
+        [
+            specs["nominal"],
+            specs["regional loss"],
+            specs["cascading failures"],
+            specs["flash wear-out"],
+            specs["query surge"],
+            specs["adversarial timing"],
+        ]
+    )
+    return report
+
+
+def _cell_network(sim, index, loss):
+    """A one-sensor star network for burst-targeting unit tests."""
+    network = Network(
+        sim,
+        MICA2_RADIO,
+        LinkConfig(loss_probability=loss),
+        DutyCycleConfig(check_interval_s=1.0),
+        np.random.default_rng(index),
+    )
+    network.register_proxy(NetworkNode(f"proxy{index}", EnergyMeter("p")))
+    network.register_sensor(NetworkNode(f"s{index}", EnergyMeter("s")))
+    return network
+
+
+class TestRegionalLoss:
+    def test_targeted_burst_flips_only_the_addressed_cell(self):
+        """The scheduled burst swaps exactly cell 1's links, then restores."""
+        runner = CampaignRunner(small_config())  # 0.3 days = 25920 s
+        spec = ScenarioSpec(
+            name="regional",
+            radio=RadioRegime(
+                loss_probability=0.1,
+                burst_loss_probability=0.9,
+                burst_period_s=7200.0,
+                burst_duration_s=1800.0,
+                cell_indices=(1,),
+            ),
+        )
+        sim = Simulator()
+        networks = [_cell_network(sim, 0, 0.1), _cell_network(sim, 1, 0.1)]
+        count = runner._schedule_bursts(spec, sim, networks)
+        assert count == 3  # bursts at 7200, 14400, 21600
+        sim.run_until(8000.0)  # inside the first burst (7200..9000)
+        assert networks[1].mac_for("s1").link_config.loss_probability == 0.9
+        assert networks[0].mac_for("s0").link_config.loss_probability == 0.1
+        sim.run_until(9500.0)  # past the burst end
+        assert networks[1].mac_for("s1").link_config.loss_probability == 0.1
+        assert networks[0].mac_for("s0").link_config.loss_probability == 0.1
+
+    def test_out_of_range_cell_index_rejected(self):
+        runner = CampaignRunner(small_config())
+        spec = ScenarioSpec(
+            name="regional",
+            radio=RadioRegime(
+                burst_loss_probability=0.9, cell_indices=(2,)
+            ),
+        )
+        sim = Simulator()
+        networks = [_cell_network(sim, 0, 0.1), _cell_network(sim, 1, 0.1)]
+        with pytest.raises(ValueError, match="out of range"):
+            runner._schedule_bursts(spec, sim, networks)
+
+    def test_negative_index_resolves_on_both_harnesses(self, adverse_campaign):
+        """cell_indices=(-1,) addresses the only cell single-cell-side and
+        the last (wireless) cell federated-side — bursts fire on both."""
+        for result in adverse_campaign.for_scenario("regional loss"):
+            assert result.bursts_scheduled > 0, result.label
+
+
+class TestCascades:
+    def test_cascade_runs_all_faults_federated_only(self, adverse_campaign):
+        results = {
+            r.harness: r
+            for r in adverse_campaign.for_scenario("cascading failures")
+        }
+        assert results["single"].faults_applied == 0
+        assert results["single"].replica_staleness_s == ()
+        federated = results["federated"]
+        assert federated.faults_applied == 5
+        assert federated.report.failovers > 0
+
+    def test_staleness_recorded_per_death(self, adverse_campaign):
+        federated = next(
+            r
+            for r in adverse_campaign.for_scenario("cascading failures")
+            if r.harness == "federated"
+        )
+        # the builtin schedules three deaths (two of proxy -1, one of -2)
+        assert len(federated.replica_staleness_s) == 3
+        assert any(np.isfinite(age) for age in federated.replica_staleness_s)
+        assert all(
+            age >= 0.0 or not np.isfinite(age)
+            for age in federated.replica_staleness_s
+        )
+        assert federated.report.max_replica_staleness_s == max(
+            federated.replica_staleness_s
+        )
+
+
+class TestSweeps:
+    def test_sweep_expands_per_point_with_shared_scenario_row(
+        self, adverse_campaign
+    ):
+        sweep = adverse_campaign.for_scenario("flash wear-out")
+        assert len(sweep) == 6  # 3 capacities x 2 harnesses
+        for harness in ("single", "federated"):
+            variants = [r.variant for r in sweep if r.harness == harness]
+            assert variants == ["flash=84480", "flash=21120", "flash=5280"]
+
+    def test_wear_out_knee_ages_more_segments_when_starved(
+        self, adverse_campaign
+    ):
+        for harness in ("single", "federated"):
+            points = [
+                r
+                for r in adverse_campaign.for_scenario("flash wear-out")
+                if r.harness == harness
+            ]
+            ample = points[0].report.archive_aged_segments
+            starved = points[-1].report.archive_aged_segments
+            assert starved > ample, harness
+            assert points[-1].report.archive_worst_level >= 1
+
+    def test_apply_sweep_pins_each_supported_parameter(self):
+        base = ScenarioSpec(
+            name="s",
+            sweep=SweepAxis(parameter="flash_capacity_bytes", values=(4096.0,)),
+        )
+        pinned = CampaignRunner._apply_sweep(base, 4096.0)
+        assert pinned.storage.flash_capacity_bytes == 4096
+        assert isinstance(pinned.storage.flash_capacity_bytes, int)
+
+        rate = dataclasses.replace(
+            base, sweep=SweepAxis(parameter="arrival_rate_per_s", values=(0.01,))
+        )
+        assert CampaignRunner._apply_sweep(
+            rate, 0.01
+        ).workload.arrival_rate_per_s == 0.01
+
+        loss = dataclasses.replace(
+            base, sweep=SweepAxis(parameter="loss_probability", values=(0.4,))
+        )
+        assert CampaignRunner._apply_sweep(
+            loss, 0.4
+        ).radio.loss_probability == 0.4
+
+    def test_sweep_value_without_axis_rejected(self):
+        runner = CampaignRunner(small_config())
+        with pytest.raises(ValueError, match="no sweep axis"):
+            runner.run_one(ScenarioSpec(name="x"), "single", sweep_value=1.0)
+
+
+class TestSurgeWorkload:
+    def test_surge_stream_is_ordered_unique_and_denser_in_window(self):
+        runner = CampaignRunner(small_config())
+        duration = runner.config.duration_s
+        spec = ScenarioSpec(
+            name="surge",
+            workload=WorkloadSpec(
+                arrival_rate_per_s=1 / 100.0,
+                surge_multiplier=6.0,
+                surge_start_fraction=0.5,
+                surge_duration_fraction=0.2,
+            ),
+        )
+        _, trace, _ = runner._build_trace(spec)
+        queries = runner._generate_queries(spec, trace, None)
+        times = [q.arrival_time for q in queries]
+        assert times == sorted(times)
+        ids = [q.query_id for q in queries]
+        assert len(set(ids)) == len(ids)
+        in_surge = sum(1 for t in times if 0.5 * duration <= t < 0.7 * duration)
+        before = sum(1 for t in times if 0.2 * duration <= t < 0.4 * duration)
+        assert in_surge > 3 * before
+
+    def test_scenario_rate_overrides_campaign_default(self):
+        runner = CampaignRunner(small_config())  # campaign default 1/400
+        _, trace, _ = runner._build_trace(ScenarioSpec(name="x"))
+        default_queries = runner._generate_queries(
+            ScenarioSpec(name="x"), trace, None
+        )
+        fast_queries = runner._generate_queries(
+            ScenarioSpec(
+                name="x", workload=WorkloadSpec(arrival_rate_per_s=1 / 50.0)
+            ),
+            trace,
+            None,
+        )
+        assert len(fast_queries) > 3 * len(default_queries)
+
+    def test_surge_multiplies_answered_volume(self, adverse_campaign):
+        nominal = {
+            r.harness: len(r.report.answers)
+            for r in adverse_campaign.for_scenario("nominal")
+        }
+        for result in adverse_campaign.for_scenario("query surge"):
+            assert len(result.report.answers) > 2 * nominal[result.harness]
+
+
+class TestAdversarialTiming:
+    def test_events_phase_locked_to_burst_onsets(self):
+        runner = CampaignRunner(small_config())
+        spec = builtin_scenarios()["adversarial timing"]
+        _, trace, events = runner._build_trace(spec)
+        # 0.3 days, 3 h period -> bursts at 10800 s and 21600 s
+        expected_epochs = {
+            int(round(10800.0 / runner.config.epoch_s)),
+            int(round(21600.0 / runner.config.epoch_s)),
+        }
+        assert len(events) == len(expected_epochs) * runner.config.n_sensors
+        assert {e.start_epoch for e in events} == expected_epochs
+        assert all(e.magnitude > 0 for e in events)
+
+    def test_recall_and_worst_latency_reported(self, adverse_campaign):
+        for result in adverse_campaign.for_scenario("adversarial timing"):
+            assert result.events_injected > 0
+            assert result.qualifying_events == result.events_injected
+            assert result.notification_recall >= 0.5, result.label
+            assert np.isfinite(result.worst_notification_latency_s)
+            assert result.worst_notification_latency_s >= 0.0
+            row = result.row()
+            assert (
+                row["worst_notification_latency_s"]
+                == result.worst_notification_latency_s
+            )
+
+    def test_worst_latency_nan_without_standing_queries(self, adverse_campaign):
+        for result in adverse_campaign.for_scenario("nominal"):
+            assert math.isnan(result.worst_notification_latency_s)
+
+
+class TestReplicaFidelity:
+    def test_failover_answers_diverge_boundedly(self, adverse_campaign):
+        """The ROADMAP's replica-answer fidelity item: failover answers stay
+        within signal-unit distance of the dead cell's in-simulation truth,
+        and the bound lands in the campaign report row."""
+        federated = next(
+            r
+            for r in adverse_campaign.for_scenario("cascading failures")
+            if r.harness == "federated"
+        )
+        report = federated.report
+        assert report.failovers > 0
+        assert np.isfinite(report.failover_mean_error)
+        assert report.failover_mean_error < 3.0
+        assert report.failover_mean_error <= report.failover_max_error
+        row = federated.row()
+        assert row["failover_mean_error"] == report.failover_mean_error
+        assert row["max_replica_staleness_s"] == report.max_replica_staleness_s
+
+    def test_single_harness_rows_omit_federated_metrics(self, adverse_campaign):
+        single = next(
+            r
+            for r in adverse_campaign.for_scenario("nominal")
+            if r.harness == "single"
+        )
+        row = single.row()
+        assert "failover_mean_error" not in row
+        assert "max_replica_staleness_s" not in row
