@@ -19,12 +19,21 @@ cross-scenario invariants that used to live in bespoke harness code:
   replica-staleness figure per proxy death, the wear-out sweep ages more
   archive segments at its smallest capacity, the surge multiplies the
   answered query volume, and adversarial timing bounds notification
-  latency.
+  latency;
+* the wear-out x loss grid expands its full cross product (one distinct
+  coordinate dict per cell, on both harnesses) and keeps the aging knee
+  along its capacity axis;
+* replica staleness at the ``staleness_vs_sync`` proxy death increases
+  with the swept sync interval — the staleness/cost knee is real.
 
-With ``--check-drift`` the run additionally compares each (scenario,
-harness, variant) success rate against the last same-scale
-``BENCH_scenarios.json`` entry and fails when any dropped by more than
-``--drift-tolerance`` — the campaign regression gate CI runs on every PR.
+With ``--check-drift`` the run additionally compares each row's success
+rate against the last same-scale ``BENCH_scenarios.json`` entry and fails
+when any dropped by more than ``--drift-tolerance`` — the campaign
+regression gate CI runs on every PR.  Rows are matched by their sweep
+*coordinates* (the ``sweep`` dict each row carries), not by variant-label
+order, so re-ordering a scenario's axis values cannot fake or mask drift;
+rows from history predating the coordinate dicts are matched by parsing
+their variant labels.
 
 Run it directly::
 
@@ -48,6 +57,7 @@ from repro.scenarios import (
     CampaignRunner,
     builtin_scenarios,
 )
+from repro.scenarios.runner import SWEEP_LABELS
 
 RESULT_PATH = Path(__file__).resolve().parent / "results" / "scenario_campaign.txt"
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
@@ -61,6 +71,9 @@ TRACKED_METRICS = (
     "notification_recall",
 )
 
+#: variant-label shorthand back to the sweep parameter it abbreviates
+LABEL_PARAMETERS = {label: parameter for parameter, label in SWEEP_LABELS.items()}
+
 
 def check_invariants(report: CampaignReport) -> list[str]:
     """Cross-scenario assertions; returns the failures (empty = pass)."""
@@ -72,8 +85,8 @@ def check_invariants(report: CampaignReport) -> list[str]:
 
     by_scenario = {name: report.for_scenario(name) for name in report.scenarios()}
     expect(
-        len(by_scenario) >= 12,
-        f"campaign ran {len(by_scenario)} scenarios, expected >= 12",
+        len(by_scenario) >= 14,
+        f"campaign ran {len(by_scenario)} scenarios, expected >= 14",
     )
     for name, results in by_scenario.items():
         harnesses = {r.harness for r in results}
@@ -191,6 +204,72 @@ def check_invariants(report: CampaignReport) -> list[str]:
                 f"adversarial timing/{result.harness} caught events but "
                 "reported no worst-case latency",
             )
+
+    for harness in ("single", "federated"):
+        grid = [
+            r for r in by_scenario.get("wearout_vs_loss_grid", [])
+            if r.harness == harness
+        ]
+        if not grid:
+            continue
+        expected_cells = 6  # 3 capacities x 2 loss points
+        expect(
+            len(grid) == expected_cells,
+            f"wearout_vs_loss_grid/{harness} ran {len(grid)} cells, "
+            f"expected the full {expected_cells}-point cross product",
+        )
+        coordinates = {
+            tuple(sorted(r.sweep_point.items())) for r in grid
+        }
+        expect(
+            len(coordinates) == len(grid),
+            f"wearout_vs_loss_grid/{harness} repeated a grid point",
+        )
+        expect(
+            all(len(r.sweep_point) == 2 for r in grid),
+            f"wearout_vs_loss_grid/{harness} rows must carry both axis "
+            "coordinates",
+        )
+        # The wear-out knee must survive inside the grid: at the clean-
+        # channel loss column, the starved capacity ages more segments.
+        losses = sorted({r.sweep_point["loss_probability"] for r in grid})
+        clean = sorted(
+            (r for r in grid if r.sweep_point["loss_probability"] == losses[0]),
+            key=lambda r: -r.sweep_point["flash_capacity_bytes"],
+        )
+        expect(
+            clean[-1].report.archive_aged_segments
+            > clean[0].report.archive_aged_segments,
+            f"wearout_vs_loss_grid/{harness}: smallest flash aged "
+            f"{clean[-1].report.archive_aged_segments} segments vs "
+            f"{clean[0].report.archive_aged_segments} at ample capacity",
+        )
+
+    staleness_sweep = sorted(
+        (
+            r for r in by_scenario.get("staleness_vs_sync", [])
+            if r.harness == "federated"
+        ),
+        key=lambda r: r.sweep_point["replica_sync_interval_s"],
+    )
+    if staleness_sweep:
+        expect(
+            all(
+                len(r.replica_staleness_s) == 1
+                and math.isfinite(r.replica_staleness_s[0])
+                for r in staleness_sweep
+            ),
+            "staleness_vs_sync must record one finite staleness per death",
+        )
+        ages = [r.replica_staleness_s[0] for r in staleness_sweep]
+        expect(
+            all(a < b for a, b in zip(ages, ages[1:])),
+            f"replica staleness not increasing with sync interval: {ages}",
+        )
+        expect(
+            all(r.report.failovers > 0 for r in staleness_sweep),
+            "staleness_vs_sync produced no failovers at some sync interval",
+        )
     return failures
 
 
@@ -208,6 +287,7 @@ def build_record(report: CampaignReport, scale: str) -> dict:
             "scenario": row["scenario"],
             "harness": row["harness"],
             "variant": row["variant"],
+            "sweep": {k: float(v) for k, v in row["sweep"].items()},
             **{metric: _json_safe(row[metric]) for metric in TRACKED_METRICS},
         }
         for row in report.rows()
@@ -239,6 +319,34 @@ def append_history(record: dict, path: Path) -> None:
     )
 
 
+def row_key(row: dict) -> tuple:
+    """The identity drift matching compares rows by.
+
+    Sweep coordinates are canonicalised (sorted parameter order), so two
+    rows match whenever they pin the same values — however the axis list
+    was ordered when either campaign ran.  History rows predating the
+    ``sweep`` dict recover their coordinates from the variant label's
+    ``flash=…``/``loss=…`` shorthand; non-sweep tokens (the ``lpl=…``
+    duty-cycle points) stay part of the identity verbatim.
+    """
+    sweep = row.get("sweep")
+    parsed: dict[str, float] = {}
+    residual: list[str] = []
+    for token in filter(None, row["variant"].split(",")):
+        parameter = LABEL_PARAMETERS.get(token.partition("=")[0])
+        if parameter is None:
+            residual.append(token)
+        elif sweep is None:
+            parsed[parameter] = float(token.partition("=")[2])
+    coordinates = {k: float(v) for k, v in (sweep or parsed).items()}
+    return (
+        row["scenario"],
+        row["harness"],
+        tuple(sorted(coordinates.items())),
+        tuple(residual),
+    )
+
+
 def check_drift(
     record: dict, previous: dict | None, tolerance: float
 ) -> list[str]:
@@ -249,14 +357,13 @@ def check_drift(
     """
     if previous is None:
         return []
-    current = {
-        (row["scenario"], row["harness"], row["variant"]): row
-        for row in record["rows"]
-    }
+    current = {row_key(row): row for row in record["rows"]}
     failures: list[str] = []
     for row in previous["rows"]:
-        key = (row["scenario"], row["harness"], row["variant"])
-        label = "/".join(part for part in key if part)
+        key = row_key(row)
+        label = "/".join(
+            part for part in (row["scenario"], row["harness"], row["variant"]) if part
+        )
         if key not in current:
             failures.append(f"tracked run {label} missing from this campaign")
             continue
@@ -312,11 +419,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(report.results)} runs in {elapsed:.1f}s"
     )
     table = report.to_table()
+    grids = report.grid_tables()
     print(title)
     print(table)
+    for section in grids:
+        print(f"\n{section}")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(f"{title}\n\n{table}\n")
+    body = "\n\n".join([table, *grids])
+    args.out.write_text(f"{title}\n\n{body}\n")
     print(f"recorded -> {args.out}")
 
     previous = None

@@ -6,11 +6,15 @@ Before a PRESTO deployment goes live, the operator wants one answer sheet:
 what happens to query success, accuracy, energy and event notifications
 when the radio turns hostile, a proxy dies, or anomalies arrive in bursts?
 Previously each of those questions meant hand-building a harness; the
-scenario engine makes the whole acceptance campaign declarative — four
-named regimes, both harnesses, one consolidated report.
+scenario engine makes the whole acceptance campaign declarative — named
+regimes, both harnesses, one consolidated report — and the 2-D sweep grid
+charts the flash-capacity x channel-loss wear-out knee as one table
+(written to ``benchmarks/results/wearout_vs_loss_grid.txt``, the chart
+``docs/scenarios.md`` walks through).
 """
 
 import math
+from pathlib import Path
 
 from repro.scenarios import CampaignConfig, CampaignRunner, builtin_scenarios
 
@@ -21,6 +25,14 @@ SCENARIOS = (
     "event storm",
     "cascading failures",
     "adversarial timing",
+    "wearout_vs_loss_grid",
+)
+
+GRID_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "results"
+    / "wearout_vs_loss_grid.txt"
 )
 
 
@@ -86,6 +98,22 @@ def main() -> None:
         f"{adversarial.worst_notification_latency_s:.0f}s after onset "
         f"— the paper's 'rare events are never missed' under the worst channel"
     )
+
+    # The 2-D knee: how many archive segments the sensors aged away, per
+    # (flash capacity, channel loss) grid cell — the wear-out trade-off
+    # the single-axis sweep could only show one slice of.
+    grid = report.grid(
+        "aged_segments",
+        "loss_probability",
+        "flash_capacity_bytes",
+        scenario="wearout_vs_loss_grid",
+        harness="federated",
+    )
+    table = grid.to_table()
+    print(f"\nwear-out knee vs channel loss (archive segments aged):\n{table}")
+    GRID_RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GRID_RESULT_PATH.write_text(table + "\n")
+    print(f"grid table -> {GRID_RESULT_PATH}")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Usage::
                                [--replication-factor R] [--kill-proxy NAME]
     python -m repro scenarios  [--campaign default|smoke] [--scenario NAME]
                                [--harness both|single|federated] [--list]
+                               [--sweep PARAM=START:STOP:STEPS ...]
 
 ``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
 one PRESTO cell and prints its report; ``models`` compares push suppression
@@ -46,6 +47,7 @@ from repro.scenarios import (
     HARNESSES,
     CampaignConfig,
     CampaignRunner,
+    SweepAxis,
     builtin_scenarios,
 )
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
@@ -214,16 +216,42 @@ def cmd_federation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_axis(text: str) -> SweepAxis:
+    """One ``--sweep`` flag: ``PARAM=START:STOP:STEPS`` or ``PARAM=V1,V2,...``."""
+    parameter, _, values_text = text.partition("=")
+    if not parameter or not values_text:
+        raise ValueError(
+            f"--sweep expects PARAM=START:STOP:STEPS or PARAM=V1,V2,..., "
+            f"got {text!r}"
+        )
+    if ":" in values_text:
+        fields = values_text.split(":")
+        if len(fields) != 3:
+            raise ValueError(
+                f"--sweep range needs START:STOP:STEPS, got {values_text!r}"
+            )
+        start, stop = float(fields[0]), float(fields[1])
+        steps = int(fields[2])
+        if steps < 1:
+            raise ValueError(f"--sweep needs >= 1 step, got {steps}")
+        values = tuple(float(v) for v in np.linspace(start, stop, steps))
+    else:
+        values = tuple(float(v) for v in values_text.split(","))
+    return SweepAxis(parameter=parameter, values=values)
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Run a scenario campaign over both harnesses and print its report."""
     specs = builtin_scenarios()
     if args.list:
         for name, spec in specs.items():
             extras = []
-            if spec.sweep is not None:
-                extras.append(
-                    f"sweep {spec.sweep.parameter} x{len(spec.sweep.values)}"
+            if spec.sweep:
+                grid = " x ".join(
+                    f"{axis.parameter}[{len(axis.values)}]"
+                    for axis in spec.sweep
                 )
+                extras.append(f"sweep {grid}")
             if spec.faults:
                 extras.append(f"{len(spec.faults)} faults")
             suffix = f"  [{', '.join(extras)}]" if extras else ""
@@ -237,6 +265,17 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         chosen = [specs[name] for name in args.scenario]
     else:
         chosen = list(specs.values())
+    if args.sweep:
+        # A CLI-composed grid replaces each chosen scenario's own sweep:
+        # the cross product of every --sweep flag, in flag order.
+        try:
+            axes = tuple(_parse_sweep_axis(text) for text in args.sweep)
+            chosen = [
+                dataclasses.replace(spec, sweep=axes) for spec in chosen
+            ]
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
     harnesses = HARNESSES if args.harness == "both" else (args.harness,)
     try:
         if args.campaign == "smoke":
@@ -263,6 +302,8 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         f"{config.duration_days:g} days, {config.n_proxies} federated proxies"
     )
     print(report.to_table())
+    for table in report.grid_tables():
+        print(f"\n{table}")
     staleness_lines = [
         f"  {result.label}: "
         + ", ".join(
@@ -321,6 +362,14 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=None,
                 help="federated proxy count (default 3; smoke default 2)",
+            )
+            sub.add_argument(
+                "--sweep",
+                action="append",
+                metavar="PARAM=START:STOP:STEPS",
+                help="replace the chosen scenarios' sweep with this axis "
+                "(repeatable; the flags' cross product becomes the grid; "
+                "also accepts PARAM=V1,V2,...)",
             )
             sub.add_argument(
                 "--list", action="store_true", help="list built-in scenarios"

@@ -80,6 +80,14 @@ class FederationConfig:
     are wired (low-latency, reliable backhaul); the rest sit on an 802.11
     mesh, and their summary caches and model parameters are replicated onto
     ``replication_factor`` wired proxies every ``replica_sync_interval_s``.
+
+    ``replica_sync_interval_s`` is the staleness/cost dial: replicas answer
+    failover queries from state frozen at the last completed sync, so a
+    longer interval trades replication traffic for staler failover answers.
+    It is also a sweepable scenario parameter — a
+    :class:`~repro.scenarios.spec.SweepAxis` over
+    ``replica_sync_interval_s`` (see the ``staleness_vs_sync`` built-in)
+    charts replica staleness and failover fidelity against that cost.
     """
 
     n_proxies: int = 1

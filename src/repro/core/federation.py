@@ -355,6 +355,10 @@ class FederatedSystem:
 
         ``inf`` when no live host holds any replicated entry for the proxy
         — replication was unplanned, never synced, or every host is dead.
+        The age is bounded by ``replica_sync_interval_s`` (plus the cache
+        tail's own lag) while syncs keep completing, which is what the
+        ``staleness_vs_sync`` scenario sweep charts against replication
+        cost.
         """
         self._validate_proxy(proxy_name)
         newest = float("-inf")

@@ -16,10 +16,13 @@ from repro.scenarios.runner import (
     CampaignRunner,
     HARNESSES,
     ScenarioResult,
+    SweepGrid,
 )
 from repro.scenarios.spec import (
+    SURGE_PROFILES,
     SWEEP_PARAMETERS,
     ClockRegime,
+    FederationRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
@@ -38,13 +41,16 @@ __all__ = [
     "CampaignRunner",
     "HARNESSES",
     "ScenarioResult",
+    "SweepGrid",
     "ClockRegime",
+    "FederationRegime",
     "ProxyFault",
     "RadioRegime",
     "ScenarioSpec",
     "StandingQuerySpec",
     "StoragePressure",
     "SweepAxis",
+    "SURGE_PROFILES",
     "SWEEP_PARAMETERS",
     "TracePerturbation",
     "WorkloadSpec",

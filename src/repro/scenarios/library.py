@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.continuous import TriggerKind
 from repro.scenarios.spec import (
     ClockRegime,
+    FederationRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
@@ -28,6 +29,19 @@ STARVED_FLASH_BYTES = 40 * 264
 #: the wear-out sweep's descending capacities: ample -> starved -> dying.
 #: Descending order on purpose — the report reads as the aging knee.
 WEAR_OUT_CAPACITIES = (320 * 264, 80 * 264, 20 * 264)
+
+#: the wear-out grid's second axis: a clean channel vs heavy loss — the
+#: cross product charts whether retransmission pressure moves the aging knee
+WEAR_OUT_LOSSES = (0.05, 0.45)
+
+#: replica-sync cadences for the staleness knee, ascending cost savings.
+#: Deliberately not divisors of typical death times, so the staleness at a
+#: mid-run failure is a non-trivial remainder at every scale.
+SYNC_INTERVALS = (1_000.0, 4_000.0, 9_000.0)
+
+#: where the staleness scenario kills its proxy: off the half-way mark so
+#: the death never lands exactly on a sync tick of any SYNC_INTERVALS entry
+STALENESS_DEATH_FRACTION = 0.55
 
 
 def builtin_scenarios() -> dict[str, ScenarioSpec]:
@@ -147,6 +161,31 @@ def builtin_scenarios() -> dict[str, ScenarioSpec]:
             ),
             standing=StandingQuerySpec(
                 kind=TriggerKind.ABOVE, threshold_offset=4.0, min_interval_s=600.0
+            ),
+        ),
+        ScenarioSpec(
+            name="wearout_vs_loss_grid",
+            description="2-D knee: flash capacity x channel loss cross product",
+            sweep=(
+                SweepAxis(
+                    parameter="flash_capacity_bytes", values=WEAR_OUT_CAPACITIES
+                ),
+                SweepAxis(parameter="loss_probability", values=WEAR_OUT_LOSSES),
+            ),
+        ),
+        ScenarioSpec(
+            name="staleness_vs_sync",
+            description="replica sync interval swept against failover staleness",
+            federation=FederationRegime(),  # pinned per point by the sweep
+            sweep=SweepAxis(
+                parameter="replica_sync_interval_s", values=SYNC_INTERVALS
+            ),
+            faults=(
+                ProxyFault(
+                    proxy_index=-1,
+                    at_fraction=STALENESS_DEATH_FRACTION,
+                    action="fail",
+                ),
             ),
         ),
     )

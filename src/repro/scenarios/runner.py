@@ -10,6 +10,14 @@ collects every run's :class:`~repro.core.system.SystemReport` /
 :class:`CampaignReport` with per-scenario success rate, mean error,
 energy per sensor-day, answer mix and notification recall against the
 injected ground truth.
+
+A scenario's sweep is a *grid*: the cross product of its
+:class:`~repro.scenarios.spec.SweepAxis` list expands into one variant
+row per point, each row carrying its axis-coordinate dict
+(``ScenarioResult.sweep_point``), and :meth:`CampaignReport.grid`
+re-assembles any two axes into the 2-D trade-off table — flash capacity
+x loss probability is the wear-out knee, replica sync interval x
+arrival rate the staleness/cost knee.
 """
 
 from __future__ import annotations
@@ -52,6 +60,8 @@ SWEEP_LABELS = {
     "flash_capacity_bytes": "flash",
     "arrival_rate_per_s": "rate",
     "loss_probability": "loss",
+    "replica_sync_interval_s": "sync",
+    "surge_multiplier": "surge",
 }
 
 
@@ -119,8 +129,12 @@ class ScenarioResult:
 
     scenario: str
     harness: str
-    variant: str                 # e.g. "lpl=2s" / "flash=5280" sweep points
+    variant: str                 # e.g. "lpl=2s" / "flash=5280,loss=0.4"
     report: SystemReport         # FederatedReport for the federated harness
+    #: this run's sweep-grid coordinates ({parameter: value}, axis order);
+    #: empty for unswept scenarios.  This — not the variant label — is the
+    #: identity drift tracking matches rows by.
+    sweep_point: dict[str, float] = field(default_factory=dict)
     events_injected: int = 0
     qualifying_events: int = 0   # positive injected events a trigger should catch
     notifications: int = 0
@@ -138,13 +152,14 @@ class ScenarioResult:
         suffix = f" [{self.variant}]" if self.variant else ""
         return f"{self.scenario}/{self.harness}{suffix}"
 
-    def row(self) -> dict[str, float | str]:
+    def row(self) -> dict[str, float | str | dict[str, float]]:
         """Flat metrics row for tables and JSON."""
         report = self.report
-        out: dict[str, float | str] = {
+        out: dict[str, float | str | dict[str, float]] = {
             "scenario": self.scenario,
             "harness": self.harness,
             "variant": self.variant,
+            "sweep": dict(self.sweep_point),
             "success_rate": report.success_rate,
             "mean_error": report.mean_error,
             "energy_per_day_j": report.sensor_energy_per_day_j,
@@ -166,6 +181,52 @@ class ScenarioResult:
         return out
 
 
+@dataclass(frozen=True)
+class SweepGrid:
+    """One metric of one scenario re-assembled over two sweep axes.
+
+    ``cells[iy][ix]`` is the metric at ``(y_values[iy], x_values[ix])``;
+    ``None`` marks a grid point the campaign never ran (possible when
+    variant rows were filtered before assembly).  Axis values keep the
+    spec's declaration order — a descending wear-out axis renders as the
+    knee it is, not re-sorted.
+    """
+
+    scenario: str
+    harness: str
+    metric: str
+    x_parameter: str
+    y_parameter: str
+    x_values: tuple[float, ...]
+    y_values: tuple[float, ...]
+    cells: tuple[tuple[float | None, ...], ...]
+
+    def to_table(self) -> str:
+        """Aligned fixed-width text rendering of the 2-D table."""
+        title = (
+            f"{self.scenario}/{self.harness} — {self.metric} "
+            f"(rows: {self.y_parameter}, columns: {self.x_parameter})"
+        )
+        stub = self.y_parameter
+        columns = [f"{value:g}" for value in self.x_values]
+        width = max(8, *(len(label) for label in columns)) + 2
+        stub_width = max(len(stub), *(len(f"{v:g}") for v in self.y_values))
+        lines = [
+            title,
+            f"{stub:<{stub_width}}"
+            + "".join(f"{label:>{width}}" for label in columns),
+        ]
+        for y_value, row in zip(self.y_values, self.cells):
+            rendered = [
+                "-" if cell is None else f"{cell:.3f}" for cell in row
+            ]
+            lines.append(
+                f"{y_value:<{stub_width}g}"
+                + "".join(f"{cell:>{width}}" for cell in rendered)
+            )
+        return "\n".join(lines)
+
+
 @dataclass
 class CampaignReport:
     """Consolidated outcome of one campaign."""
@@ -173,7 +234,7 @@ class CampaignReport:
     config: CampaignConfig
     results: list[ScenarioResult] = field(default_factory=list)
 
-    def rows(self) -> list[dict[str, float | str]]:
+    def rows(self) -> list[dict[str, float | str | dict[str, float]]]:
         """One flat metrics dict per run."""
         return [result.row() for result in self.results]
 
@@ -189,10 +250,125 @@ class CampaignReport:
         """All runs of one scenario."""
         return [r for r in self.results if r.scenario == name]
 
+    def grid(
+        self,
+        metric: str,
+        x_axis: str,
+        y_axis: str,
+        scenario: str | None = None,
+        harness: str | None = None,
+    ) -> SweepGrid:
+        """Re-assemble *metric* over two sweep axes as a :class:`SweepGrid`.
+
+        Selects the runs whose :attr:`~ScenarioResult.sweep_point` carries
+        both *x_axis* and *y_axis* coordinates; *scenario* / *harness* may
+        be omitted when the campaign leaves only one candidate (a campaign
+        with one grid scenario run over one harness needs neither).
+        Raises :class:`ValueError` on an ambiguous selection or when two
+        runs land on the same grid point (e.g. a grid combined with
+        duty-cycle points — filter with *harness* and assemble per point).
+        """
+        candidates = [
+            r
+            for r in self.results
+            if x_axis in r.sweep_point and y_axis in r.sweep_point
+        ]
+        if scenario is not None:
+            candidates = [r for r in candidates if r.scenario == scenario]
+        if harness is not None:
+            candidates = [r for r in candidates if r.harness == harness]
+        if not candidates:
+            raise ValueError(
+                f"no runs sweep both {x_axis!r} and {y_axis!r}"
+                + (f" for scenario {scenario!r}" if scenario else "")
+                + (f" on harness {harness!r}" if harness else "")
+            )
+        scenarios = {r.scenario for r in candidates}
+        if len(scenarios) > 1:
+            raise ValueError(
+                f"grid is ambiguous across scenarios {sorted(scenarios)}; "
+                "pass scenario="
+            )
+        harnesses = {r.harness for r in candidates}
+        if len(harnesses) > 1:
+            raise ValueError(
+                f"grid is ambiguous across harnesses {sorted(harnesses)}; "
+                "pass harness="
+            )
+        x_values: list[float] = []
+        y_values: list[float] = []
+        cells: dict[tuple[float, float], float] = {}
+        for result in candidates:
+            x = result.sweep_point[x_axis]
+            y = result.sweep_point[y_axis]
+            if x not in x_values:
+                x_values.append(x)
+            if y not in y_values:
+                y_values.append(y)
+            if (x, y) in cells:
+                raise ValueError(
+                    f"duplicate grid point ({x_axis}={x:g}, {y_axis}={y:g}) "
+                    f"in {result.label}; filter before assembling the grid"
+                )
+            row = result.row()
+            if metric not in row:
+                raise ValueError(
+                    f"unknown grid metric {metric!r}; row has {sorted(row)}"
+                )
+            cells[(x, y)] = float(row[metric])  # type: ignore[arg-type]
+        return SweepGrid(
+            scenario=candidates[0].scenario,
+            harness=candidates[0].harness,
+            metric=metric,
+            x_parameter=x_axis,
+            y_parameter=y_axis,
+            x_values=tuple(x_values),
+            y_values=tuple(y_values),
+            cells=tuple(
+                tuple(cells.get((x, y)) for x in x_values) for y in y_values
+            ),
+        )
+
+    def grid_tables(self, metric: str = "success_rate") -> list[str]:
+        """Rendered 2-D tables for every (grid scenario, harness) run.
+
+        Scenarios whose runs carry two or more sweep coordinates are
+        assembled with their first declared axis as rows and their last
+        as columns; combinations :meth:`grid` rejects (e.g. a grid
+        crossed with duty-cycle points) are skipped.  This is the shared
+        rendering the CLI and the campaign benchmark both append after
+        the main table.
+        """
+        tables: list[str] = []
+        for name in self.scenarios():
+            gridded = [
+                r for r in self.for_scenario(name) if len(r.sweep_point) >= 2
+            ]
+            if not gridded:
+                continue
+            parameters = list(gridded[0].sweep_point)
+            for harness in self.config.harnesses:
+                try:
+                    grid = self.grid(
+                        metric,
+                        parameters[-1],
+                        parameters[0],
+                        scenario=name,
+                        harness=harness,
+                    )
+                except ValueError:
+                    continue
+                tables.append(grid.to_table())
+        return tables
+
     def to_table(self) -> str:
         """Fixed-width summary table of every run."""
+        variant_width = max(
+            [12] + [len(result.variant) for result in self.results]
+        )
         header = (
-            f"{'scenario':<20} {'harness':<9} {'variant':<12} {'success':>7} "
+            f"{'scenario':<20} {'harness':<9} {'variant':<{variant_width}} "
+            f"{'success':>7} "
             f"{'err':>6} {'E/day J':>8} {'answered':>8} {'recall':>6} "
             f"{'notif':>5}  notes"
         )
@@ -221,7 +397,8 @@ class CampaignReport:
                 )
             lines.append(
                 f"{result.scenario:<20} {result.harness:<9} "
-                f"{result.variant or '-':<12} {report.success_rate:>7.3f} "
+                f"{result.variant or '-':<{variant_width}} "
+                f"{report.success_rate:>7.3f} "
                 f"{report.mean_error:>6.3f} "
                 f"{report.sensor_energy_per_day_j:>8.2f} "
                 f"{report.answered_fraction:>8.3f} "
@@ -240,72 +417,101 @@ class CampaignRunner:
     # -- campaign entry ----------------------------------------------------------
 
     def run(self, scenarios: list[ScenarioSpec] | tuple[ScenarioSpec, ...]) -> CampaignReport:
-        """Run every scenario over every configured harness (and sweep point)."""
+        """Run every scenario over every configured harness and grid point.
+
+        A scenario's sweep axes expand as their cross product
+        (:meth:`~repro.scenarios.spec.ScenarioSpec.sweep_points`): two
+        3-value axes produce nine variant rows per harness, each tagged
+        with its ``{parameter: value}`` coordinates.
+        """
         report = CampaignReport(config=self.config)
         for spec in scenarios:
-            # One trace per scenario: every harness and sweep point replays
+            # One trace per scenario: every harness and grid point replays
             # the identical perturbed signal (and saves the regeneration).
             # No supported sweep parameter touches trace generation, so the
-            # share is exact across sweep points too.
+            # share is exact across the whole grid too.
             prepared = self._build_trace(spec)
             points: tuple[float | None, ...] = spec.radio.duty_cycle_points or (None,)
-            sweep_values: tuple[float | None, ...] = (
-                spec.sweep.values if spec.sweep is not None else (None,)
-            )
+            sweep_points = spec.sweep_points()
             for harness in self.config.harnesses:
-                for sweep_value in sweep_values:
+                for sweep_point in sweep_points:
                     for point in points:
                         report.results.append(
                             self.run_one(
                                 spec,
                                 harness,
                                 point,
-                                sweep_value=sweep_value,
+                                sweep_point=sweep_point or None,
                                 _prepared=prepared,
                             )
                         )
         return report
 
     @staticmethod
-    def _apply_sweep(spec: ScenarioSpec, value: float | None) -> ScenarioSpec:
-        """The spec with its sweep axis pinned to one *value* (or unchanged)."""
-        if value is None:
+    def _apply_sweep(
+        spec: ScenarioSpec, point: dict[str, float] | None
+    ) -> ScenarioSpec:
+        """The spec with every axis pinned to *point*'s coordinates."""
+        if not point:
             return spec
-        if spec.sweep is None:
-            raise ValueError("sweep value given for a scenario with no sweep axis")
-        parameter = spec.sweep.parameter
-        if parameter == "flash_capacity_bytes":
-            storage = dataclasses.replace(
-                spec.storage, flash_capacity_bytes=int(value)
+        axes = {axis.parameter for axis in spec.sweep}
+        unknown = set(point) - axes
+        if unknown:
+            raise ValueError(
+                f"sweep point pins {sorted(unknown)} but the scenario has "
+                f"no such axis (axes: {sorted(axes) or 'none'})"
             )
-            return dataclasses.replace(spec, storage=storage)
-        if parameter == "arrival_rate_per_s":
-            workload = dataclasses.replace(spec.workload, arrival_rate_per_s=value)
-            return dataclasses.replace(spec, workload=workload)
-        if parameter == "loss_probability":
-            radio = dataclasses.replace(spec.radio, loss_probability=value)
-            return dataclasses.replace(spec, radio=radio)
-        # Unreachable while this chain covers spec.SWEEP_PARAMETERS; raising
-        # keeps a new parameter added there from silently sweeping the
-        # wrong knob here.
-        raise ValueError(f"no applier for sweep parameter {parameter!r}")
+        for parameter, value in point.items():
+            if parameter == "flash_capacity_bytes":
+                storage = dataclasses.replace(
+                    spec.storage, flash_capacity_bytes=int(value)
+                )
+                spec = dataclasses.replace(spec, storage=storage)
+            elif parameter == "arrival_rate_per_s":
+                workload = dataclasses.replace(
+                    spec.workload, arrival_rate_per_s=value
+                )
+                spec = dataclasses.replace(spec, workload=workload)
+            elif parameter == "loss_probability":
+                radio = dataclasses.replace(spec.radio, loss_probability=value)
+                spec = dataclasses.replace(spec, radio=radio)
+            elif parameter == "replica_sync_interval_s":
+                federation = dataclasses.replace(
+                    spec.federation, replica_sync_interval_s=float(value)
+                )
+                spec = dataclasses.replace(spec, federation=federation)
+            elif parameter == "surge_multiplier":
+                workload = dataclasses.replace(
+                    spec.workload, surge_multiplier=float(value)
+                )
+                spec = dataclasses.replace(spec, workload=workload)
+            else:
+                # Unreachable while this chain covers spec.SWEEP_PARAMETERS;
+                # raising keeps a new parameter added there from silently
+                # sweeping the wrong knob here.
+                raise ValueError(f"no applier for sweep parameter {parameter!r}")
+        return spec
 
     def run_one(
         self,
         spec: ScenarioSpec,
         harness: str,
         duty_cycle_point: float | None = None,
-        sweep_value: float | None = None,
+        sweep_point: dict[str, float] | None = None,
         _prepared: tuple[TraceSet, TraceSet, list[InjectedEvent]] | None = None,
     ) -> ScenarioResult:
-        """Run one scenario on one harness (optionally at one sweep point)."""
+        """Run one scenario on one harness (optionally at one grid point).
+
+        *sweep_point* maps axis parameters to the values this run pins
+        them at — one coordinate per :class:`SweepAxis` of the spec.
+        """
         if harness not in HARNESSES:
             raise ValueError(f"unknown harness {harness!r}; expected {HARNESSES}")
         cfg = self.config
         base, trace, events = (
             _prepared if _prepared is not None else self._build_trace(spec)
         )
-        spec = self._apply_sweep(spec, sweep_value)
+        spec = self._apply_sweep(spec, sweep_point)
         presto = self._presto_config(spec, duty_cycle_point)
         clock_model = ClockModel(
             offset_std_s=spec.clocks.offset_std_s,
@@ -328,11 +534,7 @@ class CampaignRunner:
             system = FederatedSystem(
                 trace,
                 presto,
-                federation=FederationConfig(
-                    n_proxies=cfg.n_proxies,
-                    shard_policy=cfg.shard_policy,
-                    replication_factor=cfg.replication_factor,
-                ),
+                federation=self._federation_config(spec),
                 seed=cfg.seed + 1,
                 model_clocks=spec.clocks.model_clocks,
                 clock_model=clock_model,
@@ -354,7 +556,8 @@ class CampaignRunner:
         return ScenarioResult(
             scenario=spec.name,
             harness=harness,
-            variant=self._variant_label(spec, duty_cycle_point, sweep_value),
+            variant=self._variant_label(duty_cycle_point, sweep_point),
+            sweep_point=dict(sweep_point or {}),
             report=report,
             events_injected=len(events),
             qualifying_events=qualifying,
@@ -368,17 +571,35 @@ class CampaignRunner:
 
     @staticmethod
     def _variant_label(
-        spec: ScenarioSpec,
         duty_cycle_point: float | None,
-        sweep_value: float | None,
+        sweep_point: dict[str, float] | None,
     ) -> str:
-        """Label distinguishing this run among the scenario's sweep points."""
-        parts = []
-        if sweep_value is not None and spec.sweep is not None:
-            parts.append(f"{SWEEP_LABELS[spec.sweep.parameter]}={sweep_value:g}")
+        """Label distinguishing this run among the scenario's grid points.
+
+        Labels are for humans; the coordinate dict itself travels in
+        :attr:`ScenarioResult.sweep_point` and is what row matching uses.
+        """
+        parts = [
+            f"{SWEEP_LABELS[parameter]}={value:g}"
+            for parameter, value in (sweep_point or {}).items()
+        ]
         if duty_cycle_point is not None:
             parts.append(f"lpl={duty_cycle_point:g}s")
         return ",".join(parts)
+
+    def _federation_config(self, spec: ScenarioSpec) -> FederationConfig:
+        """The federated harness's config: campaign sizing + spec overrides."""
+        cfg = self.config
+        kwargs: dict[str, float | int | str] = dict(
+            n_proxies=cfg.n_proxies,
+            shard_policy=cfg.shard_policy,
+            replication_factor=cfg.replication_factor,
+        )
+        if spec.federation.replica_sync_interval_s is not None:
+            kwargs["replica_sync_interval_s"] = (
+                spec.federation.replica_sync_interval_s
+            )
+        return FederationConfig(**kwargs)  # type: ignore[arg-type]
 
     def _generate_queries(
         self,
@@ -393,6 +614,15 @@ class CampaignRunner:
         surge is a second, independent Poisson stream at ``(multiplier - 1)
         x rate`` merged over the surge window: the superposition of the
         two is exactly a Poisson process at ``multiplier x rate`` there.
+
+        Surge shaping refines that extra stream.  ``ramp`` / ``decay``
+        profiles thin it against a linear envelope (Lewis–Shedler): each
+        arrival at position ``p`` in the window survives with probability
+        ``p`` (ramp) or ``1 - p`` (decay), yielding an inhomogeneous
+        Poisson stream that climbs to — or drains from — the peak rate.
+        A ``surge_hotspot_zipf`` exponent re-skews the surge traffic's
+        sensor-popularity law, concentrating the stampede on hot sensors
+        while background traffic keeps the workload default.
         """
         cfg = self.config
         workload = spec.workload
@@ -402,8 +632,13 @@ class CampaignRunner:
             else cfg.arrival_rate_per_s
         )
 
-        def make_generator(rate_per_s: float, seed: int) -> QueryWorkloadGenerator:
-            config = QueryWorkloadConfig(arrival_rate_per_s=rate_per_s)
+        def make_generator(
+            rate_per_s: float, seed: int, zipf_exponent: float | None = None
+        ) -> QueryWorkloadGenerator:
+            kwargs: dict[str, float] = {"arrival_rate_per_s": rate_per_s}
+            if zipf_exponent is not None:
+                kwargs["zipf_exponent"] = zipf_exponent
+            config = QueryWorkloadConfig(**kwargs)
             rng = np.random.default_rng(seed)
             if shards is None:
                 return QueryWorkloadGenerator(trace.n_sensors, config, rng)
@@ -422,8 +657,23 @@ class CampaignRunner:
             )
             if end > start:
                 extra = make_generator(
-                    rate * (workload.surge_multiplier - 1.0), cfg.seed + 23
+                    rate * (workload.surge_multiplier - 1.0),
+                    cfg.seed + 23,
+                    zipf_exponent=workload.surge_hotspot_zipf,
                 ).generate(start, end)
+                if workload.surge_profile != "flat":
+                    thinning = np.random.default_rng(cfg.seed + 29)
+                    span = end - start
+                    extra = [
+                        query
+                        for query in extra
+                        if thinning.random()
+                        < (
+                            (query.arrival_time - start) / span
+                            if workload.surge_profile == "ramp"
+                            else (end - query.arrival_time) / span
+                        )
+                    ]
                 merged = sorted(
                     queries + extra, key=lambda query: query.arrival_time
                 )

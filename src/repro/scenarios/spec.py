@@ -144,6 +144,10 @@ class StandingQuerySpec:
             raise ValueError("delta triggers need a positive threshold")
 
 
+#: recognised surge-shaping profiles (see :class:`WorkloadSpec`)
+SURGE_PROFILES = ("flat", "ramp", "decay")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """The query arrival process, per scenario.
@@ -152,12 +156,24 @@ class WorkloadSpec:
     scenarios still share one workload sizing; a surge multiplies the rate
     inside a window of the run — the stadium-event spike the ROADMAP's
     workload-surge backlog item asks for.
+
+    ``surge_profile`` shapes the extra traffic inside the window:
+    ``"flat"`` holds ``surge_multiplier`` x rate throughout, ``"ramp"``
+    climbs linearly from the base rate to the peak at the window's end
+    (a crowd building up), ``"decay"`` starts at the peak and drains
+    back to the base rate (everyone asks at once, then loses interest).
+    ``surge_hotspot_zipf`` re-skews the Zipf sensor-popularity law for
+    surge traffic only — a larger exponent than the workload default
+    (1.1) concentrates the stampede on a few hot sensors, the correlated
+    hotspot the ROADMAP's surge-shaping item asks for.
     """
 
     arrival_rate_per_s: float | None = None   # None = campaign default
-    surge_multiplier: float = 1.0             # x rate inside the surge window
+    surge_multiplier: float = 1.0             # peak x rate inside the window
     surge_start_fraction: float = 0.5         # of the run duration
     surge_duration_fraction: float = 0.2
+    surge_profile: str = "flat"               # flat | ramp | decay
+    surge_hotspot_zipf: float | None = None   # None = workload default skew
 
     def __post_init__(self) -> None:
         if self.arrival_rate_per_s is not None and self.arrival_rate_per_s <= 0:
@@ -172,11 +188,45 @@ class WorkloadSpec:
             raise ValueError("surge duration must be in (0,1] of the run")
         if self.surge_start_fraction + self.surge_duration_fraction > 1.0:
             raise ValueError("surge window must end within the run")
+        if self.surge_profile not in SURGE_PROFILES:
+            raise ValueError(
+                f"unknown surge profile {self.surge_profile!r}; "
+                f"expected one of {SURGE_PROFILES}"
+            )
+        if self.surge_hotspot_zipf is not None and self.surge_hotspot_zipf <= 0:
+            raise ValueError("surge hotspot Zipf exponent must be positive")
+        if not self.surges and (
+            self.surge_profile != "flat" or self.surge_hotspot_zipf is not None
+        ):
+            raise ValueError(
+                "surge shaping (profile/hotspot) needs surge_multiplier > 1"
+            )
 
     @property
     def surges(self) -> bool:
         """Whether this workload has a surge window at all."""
         return self.surge_multiplier > 1.0
+
+
+@dataclass(frozen=True)
+class FederationRegime:
+    """Federation knobs a scenario may pin (federated harness only).
+
+    ``replica_sync_interval_s=None`` inherits the
+    :class:`~repro.core.config.FederationConfig` default; a value pins the
+    replica-sync cadence for this scenario — and because it is a
+    :data:`SWEEP_PARAMETERS` member, a :class:`SweepAxis` can chart
+    replica staleness and failover fidelity against replication cost.
+    """
+
+    replica_sync_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.replica_sync_interval_s is not None
+            and self.replica_sync_interval_s <= 0
+        ):
+            raise ValueError("replica sync interval must be positive")
 
 
 #: scenario parameters a :class:`SweepAxis` may vary, and how each value
@@ -185,6 +235,8 @@ SWEEP_PARAMETERS = (
     "flash_capacity_bytes",
     "arrival_rate_per_s",
     "loss_probability",
+    "replica_sync_interval_s",
+    "surge_multiplier",
 )
 
 
@@ -197,6 +249,31 @@ class SweepAxis:
     ``flash_capacity_bytes`` traces the wear-out knee, ascending
     ``arrival_rate_per_s`` traces saturation — and every point lands as a
     variant row of the *same* scenario in the campaign report.
+
+    :class:`ScenarioSpec` takes a *list* of axes whose cross product the
+    :class:`~repro.scenarios.runner.CampaignRunner` expands — two axes
+    chart a 2-D trade-off knee:
+
+    >>> spec = ScenarioSpec(
+    ...     name="grid",
+    ...     sweep=[
+    ...         SweepAxis("flash_capacity_bytes", (84480, 21120)),
+    ...         SweepAxis("loss_probability", (0.05, 0.45)),
+    ...     ],
+    ... )
+    >>> [axis.parameter for axis in spec.sweep]
+    ['flash_capacity_bytes', 'loss_probability']
+    >>> len(spec.sweep_points())  # the runner expands the cross product
+    4
+
+    A single axis still works everywhere a list does (the pre-grid form):
+
+    >>> single = ScenarioSpec(
+    ...     name="knee",
+    ...     sweep=SweepAxis("flash_capacity_bytes", (84480, 21120, 5280)),
+    ... )
+    >>> len(single.sweep), single.sweep_points()[0]
+    (1, {'flash_capacity_bytes': 84480})
     """
 
     parameter: str
@@ -208,6 +285,8 @@ class SweepAxis:
                 f"unknown sweep parameter {self.parameter!r}; "
                 f"supported: {SWEEP_PARAMETERS}"
             )
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
         if not self.values:
             raise ValueError("a sweep needs at least one value")
         if any(value <= 0 for value in self.values):
@@ -218,6 +297,10 @@ class SweepAxis:
             value >= 1.0 for value in self.values
         ):
             raise ValueError("loss-probability sweep values must be < 1")
+        if self.parameter == "surge_multiplier" and any(
+            value < 1.0 for value in self.values
+        ):
+            raise ValueError("surge-multiplier sweep values must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -239,7 +322,13 @@ class ProxyFault:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One named adverse regime, composed from the parts above."""
+    """One named adverse regime, composed from the parts above.
+
+    ``sweep`` is a sequence of :class:`SweepAxis` whose cross product the
+    runner expands into one variant row per grid point; a bare
+    :class:`SweepAxis` (the pre-grid single-axis form) and ``None`` are
+    accepted and normalised to a one-element and empty tuple respectively.
+    """
 
     name: str
     description: str = ""
@@ -248,13 +337,30 @@ class ScenarioSpec:
     storage: StoragePressure = field(default_factory=StoragePressure)
     clocks: ClockRegime = field(default_factory=ClockRegime)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    federation: FederationRegime = field(default_factory=FederationRegime)
     standing: StandingQuerySpec | None = None
     faults: tuple[ProxyFault, ...] = ()
-    sweep: SweepAxis | None = None
+    #: sweep grid; accepts SweepAxis | Sequence[SweepAxis] | None
+    sweep: tuple[SweepAxis, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenarios need a name")
+        # Back-compat shim: a single axis (or None) normalises to a tuple,
+        # so `for axis in spec.sweep` is the one reading everywhere.
+        if self.sweep is None:
+            object.__setattr__(self, "sweep", ())
+        elif isinstance(self.sweep, SweepAxis):
+            object.__setattr__(self, "sweep", (self.sweep,))
+        elif not isinstance(self.sweep, tuple):
+            object.__setattr__(self, "sweep", tuple(self.sweep))
+        if any(not isinstance(axis, SweepAxis) for axis in self.sweep):
+            raise ValueError("sweep must contain SweepAxis instances")
+        parameters = [axis.parameter for axis in self.sweep]
+        if len(set(parameters)) != len(parameters):
+            raise ValueError(
+                f"sweep axes must vary distinct parameters, got {parameters}"
+            )
         fractions = [fault.at_fraction for fault in self.faults]
         if fractions != sorted(fractions):
             raise ValueError(
@@ -271,3 +377,17 @@ class ScenarioSpec:
     def injects_events(self) -> bool:
         """Whether the scenario perturbs the trace with ground-truth events."""
         return self.trace.event_rate_per_sensor_day > 0 or self.trace.align_to_bursts
+
+    def sweep_points(self) -> list[dict[str, float]]:
+        """The sweep grid's coordinates: one ``{parameter: value}`` dict per
+        cross-product point, axes varying rightmost-fastest (itertools
+        order).  ``[{}]`` when the scenario sweeps nothing, so callers can
+        always iterate."""
+        points: list[dict[str, float]] = [{}]
+        for axis in self.sweep:
+            points = [
+                {**point, axis.parameter: value}
+                for point in points
+                for value in axis.values
+            ]
+        return points

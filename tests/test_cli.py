@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_sweep_axis, build_parser, main
 
 
 class TestParser:
@@ -34,6 +34,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenarios", "--harness", "cloud"])
 
+    def test_scenarios_sweep_flag_repeatable(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--sweep", "loss_probability=0.1:0.4:3",
+             "--sweep", "flash_capacity_bytes=84480,5280"]
+        )
+        assert args.sweep == [
+            "loss_probability=0.1:0.4:3",
+            "flash_capacity_bytes=84480,5280",
+        ]
+
     def test_federation_flags(self):
         args = build_parser().parse_args(
             ["federation", "--proxies", "3", "--shard-policy", "round_robin",
@@ -45,6 +55,28 @@ class TestParser:
         assert args.kill_proxy is None
         with pytest.raises(SystemExit):
             build_parser().parse_args(["federation", "--shard-policy", "hash"])
+
+
+class TestSweepParsing:
+    def test_range_form_expands_linspace(self):
+        axis = _parse_sweep_axis("loss_probability=0.1:0.4:3")
+        assert axis.parameter == "loss_probability"
+        assert axis.values == (0.1, 0.25, 0.4)
+
+    def test_list_form(self):
+        axis = _parse_sweep_axis("flash_capacity_bytes=84480,5280")
+        assert axis.values == (84480.0, 5280.0)
+
+    def test_malformed_flags_rejected(self):
+        for text in (
+            "loss_probability",
+            "loss_probability=",
+            "=0.1,0.2",
+            "loss_probability=0.1:0.4",
+            "loss_probability=0.1:0.4:0",
+        ):
+            with pytest.raises(ValueError):
+                _parse_sweep_axis(text)
 
 
 class TestCommands:
@@ -83,6 +115,36 @@ class TestCommands:
         assert "campaign 'smoke'" in output
         assert "proxy blackout" in output
         assert "failovers=" in output
+
+    def test_scenarios_cli_sweep_grid(self, capsys):
+        assert main(
+            ["scenarios", "--campaign", "smoke", "--scenario", "nominal",
+             "--harness", "single",
+             "--sweep", "loss_probability=0.05,0.3",
+             "--sweep", "flash_capacity_bytes=84480,5280"]
+        ) == 0
+        output = capsys.readouterr().out
+        # 2x2 cross product, every coordinate pair present
+        for variant in (
+            "loss=0.05,flash=84480",
+            "loss=0.05,flash=5280",
+            "loss=0.3,flash=84480",
+            "loss=0.3,flash=5280",
+        ):
+            assert variant in output
+        # the 2-D knee chart is printed after the campaign table
+        assert "nominal/single — success_rate" in output
+
+    def test_scenarios_rejects_bad_sweep(self, capsys):
+        assert main(["scenarios", "--sweep", "loss_probability=0.1:0.4"]) == 2
+        assert "START:STOP:STEPS" in capsys.readouterr().out
+        assert main(["scenarios", "--sweep", "volume=1,2"]) == 2
+        assert "unknown sweep parameter" in capsys.readouterr().out
+        assert main(
+            ["scenarios", "--sweep", "loss_probability=0.1,0.2",
+             "--sweep", "loss_probability=0.3,0.4"]
+        ) == 2
+        assert "distinct parameters" in capsys.readouterr().out
 
     def test_scenarios_rejects_unknown_scenario(self, capsys):
         assert main(["scenarios", "--scenario", "volcano"]) == 2

@@ -9,12 +9,14 @@ import pytest
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 
-def run_example(name: str, capsys) -> str:
+def run_example(name: str, capsys, prepare=None) -> str:
     spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     sys.modules[name] = module
     try:
         spec.loader.exec_module(module)
+        if prepare is not None:
+            prepare(module)
         module.main()
     finally:
         sys.modules.pop(name, None)
@@ -37,11 +39,22 @@ class TestExamples:
         assert "ordering errors after proxy sync correction: 0" in output
         assert "recovered trajectories" in output
 
-    def test_scenario_campaign(self, capsys):
-        output = run_example("scenario_campaign", capsys)
+    def test_scenario_campaign(self, capsys, tmp_path):
+        # Redirect the grid artifact: tests must not rewrite the committed
+        # benchmarks/results/wearout_vs_loss_grid.txt that the docs embed.
+        output = run_example(
+            "scenario_campaign",
+            capsys,
+            prepare=lambda module: setattr(
+                module, "GRID_RESULT_PATH", tmp_path / "wearout_vs_loss_grid.txt"
+            ),
+        )
         assert "what the campaign says" in output
         assert "failovers" in output
         assert "qualifying injected anomalies" in output
+        assert "wear-out knee vs channel loss" in output
+        assert "wearout_vs_loss_grid/federated — aged_segments" in output
+        assert (tmp_path / "wearout_vs_loss_grid.txt").exists()
 
     def test_campus_federation(self, capsys):
         output = run_example("campus_federation", capsys)

@@ -1,7 +1,10 @@
 """Unit + integration tests for the scenario-campaign engine."""
 
 import dataclasses
+import importlib.util
+import json
 import math
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -16,6 +19,7 @@ from repro.scenarios import (
     CampaignConfig,
     CampaignRunner,
     ClockRegime,
+    FederationRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
@@ -57,6 +61,8 @@ BUILTIN_NAMES = (
     "flash wear-out",
     "query surge",
     "adversarial timing",
+    "wearout_vs_loss_grid",
+    "staleness_vs_sync",
 )
 
 
@@ -164,11 +170,19 @@ INVALID_SUBSPEC_CASES = [
     (ProxyFault, {"at_fraction": 0.0}),
     (ProxyFault, {"at_fraction": 1.0}),
     (ProxyFault, {"action": "pause"}),
+    (WorkloadSpec, {"surge_multiplier": 2.0, "surge_profile": "spike"}),
+    (WorkloadSpec, {"surge_profile": "ramp"}),          # shaping without surge
+    (WorkloadSpec, {"surge_hotspot_zipf": 2.0}),        # hotspot without surge
+    (WorkloadSpec, {"surge_multiplier": 2.0, "surge_hotspot_zipf": 0.0}),
+    (FederationRegime, {"replica_sync_interval_s": 0.0}),
+    (FederationRegime, {"replica_sync_interval_s": -60.0}),
     (SweepAxis, {"parameter": "unknown_knob", "values": (1.0,)}),
     (SweepAxis, {"parameter": "flash_capacity_bytes", "values": ()}),
     (SweepAxis, {"parameter": "flash_capacity_bytes", "values": (0.0,)}),
     (SweepAxis, {"parameter": "flash_capacity_bytes", "values": (8.0, 8.0)}),
     (SweepAxis, {"parameter": "loss_probability", "values": (1.5,)}),
+    (SweepAxis, {"parameter": "surge_multiplier", "values": (0.5,)}),
+    (SweepAxis, {"parameter": "replica_sync_interval_s", "values": (-1.0,)}),
 ]
 
 #: one benign instance of every frozen sub-spec
@@ -178,6 +192,7 @@ FROZEN_SUBSPEC_INSTANCES = [
     StoragePressure(),
     ClockRegime(),
     WorkloadSpec(),
+    FederationRegime(),
     StandingQuerySpec(),
     ProxyFault(),
     SweepAxis(parameter="loss_probability", values=(0.2,)),
@@ -220,7 +235,9 @@ class TestSpecProperties:
         assert not spec.workload.surges
         assert spec.standing is None
         assert spec.faults == ()
-        assert spec.sweep is None
+        assert spec.sweep == ()
+        assert spec.sweep_points() == [{}]
+        assert spec.federation == FederationRegime()
         assert not spec.injects_events
 
     def test_unordered_fault_cascade_rejected(self):
@@ -288,9 +305,29 @@ class TestLibrary:
 
     def test_wear_out_sweep_descends(self):
         sweep = builtin_scenarios()["flash wear-out"].sweep
-        assert sweep is not None
-        assert sweep.parameter == "flash_capacity_bytes"
-        assert list(sweep.values) == sorted(sweep.values, reverse=True)
+        assert len(sweep) == 1
+        axis = sweep[0]
+        assert axis.parameter == "flash_capacity_bytes"
+        assert list(axis.values) == sorted(axis.values, reverse=True)
+
+    def test_grid_builtin_crosses_two_axes(self):
+        spec = builtin_scenarios()["wearout_vs_loss_grid"]
+        assert [axis.parameter for axis in spec.sweep] == [
+            "flash_capacity_bytes",
+            "loss_probability",
+        ]
+        points = spec.sweep_points()
+        assert len(points) == len(spec.sweep[0].values) * len(
+            spec.sweep[1].values
+        )
+        assert all(len(point) == 2 for point in points)
+
+    def test_staleness_builtin_sweeps_sync_interval_with_a_death(self):
+        spec = builtin_scenarios()["staleness_vs_sync"]
+        assert [axis.parameter for axis in spec.sweep] == [
+            "replica_sync_interval_s"
+        ]
+        assert any(fault.action == "fail" for fault in spec.faults)
 
     def test_cascade_schedule_is_ordered_with_multiple_deaths(self):
         faults = builtin_scenarios()["cascading failures"].faults
@@ -552,7 +589,7 @@ class TestSweeps:
             name="s",
             sweep=SweepAxis(parameter="flash_capacity_bytes", values=(4096.0,)),
         )
-        pinned = CampaignRunner._apply_sweep(base, 4096.0)
+        pinned = CampaignRunner._apply_sweep(base, {"flash_capacity_bytes": 4096.0})
         assert pinned.storage.flash_capacity_bytes == 4096
         assert isinstance(pinned.storage.flash_capacity_bytes, int)
 
@@ -560,20 +597,57 @@ class TestSweeps:
             base, sweep=SweepAxis(parameter="arrival_rate_per_s", values=(0.01,))
         )
         assert CampaignRunner._apply_sweep(
-            rate, 0.01
+            rate, {"arrival_rate_per_s": 0.01}
         ).workload.arrival_rate_per_s == 0.01
 
         loss = dataclasses.replace(
             base, sweep=SweepAxis(parameter="loss_probability", values=(0.4,))
         )
         assert CampaignRunner._apply_sweep(
-            loss, 0.4
+            loss, {"loss_probability": 0.4}
         ).radio.loss_probability == 0.4
 
-    def test_sweep_value_without_axis_rejected(self):
+        sync = dataclasses.replace(
+            base,
+            sweep=SweepAxis(
+                parameter="replica_sync_interval_s", values=(600.0,)
+            ),
+        )
+        assert CampaignRunner._apply_sweep(
+            sync, {"replica_sync_interval_s": 600.0}
+        ).federation.replica_sync_interval_s == 600.0
+
+        surge = dataclasses.replace(
+            base,
+            workload=WorkloadSpec(surge_multiplier=2.0),
+            sweep=SweepAxis(parameter="surge_multiplier", values=(4.0,)),
+        )
+        assert CampaignRunner._apply_sweep(
+            surge, {"surge_multiplier": 4.0}
+        ).workload.surge_multiplier == 4.0
+
+    def test_apply_sweep_pins_both_axes_of_a_grid_point(self):
+        base = ScenarioSpec(
+            name="grid",
+            sweep=(
+                SweepAxis(parameter="flash_capacity_bytes", values=(4096.0,)),
+                SweepAxis(parameter="loss_probability", values=(0.4,)),
+            ),
+        )
+        pinned = CampaignRunner._apply_sweep(
+            base, {"flash_capacity_bytes": 4096.0, "loss_probability": 0.4}
+        )
+        assert pinned.storage.flash_capacity_bytes == 4096
+        assert pinned.radio.loss_probability == 0.4
+
+    def test_sweep_point_without_axis_rejected(self):
         runner = CampaignRunner(small_config())
-        with pytest.raises(ValueError, match="no sweep axis"):
-            runner.run_one(ScenarioSpec(name="x"), "single", sweep_value=1.0)
+        with pytest.raises(ValueError, match="no such axis"):
+            runner.run_one(
+                ScenarioSpec(name="x"),
+                "single",
+                sweep_point={"loss_probability": 0.5},
+            )
 
 
 class TestSurgeWorkload:
@@ -683,3 +757,363 @@ class TestReplicaFidelity:
         row = single.row()
         assert "failover_mean_error" not in row
         assert "max_replica_staleness_s" not in row
+
+
+class TestSweepGridSpec:
+    """The composable-grid surface of ScenarioSpec.sweep."""
+
+    def test_single_axis_shim_normalises_to_tuple(self):
+        axis = SweepAxis(parameter="loss_probability", values=(0.1, 0.2))
+        spec = ScenarioSpec(name="x", sweep=axis)
+        assert spec.sweep == (axis,)
+
+    def test_none_normalises_to_empty_tuple(self):
+        assert ScenarioSpec(name="x", sweep=None).sweep == ()
+
+    def test_list_of_axes_normalises_to_tuple(self):
+        axes = [
+            SweepAxis(parameter="flash_capacity_bytes", values=(1024.0,)),
+            SweepAxis(parameter="loss_probability", values=(0.1,)),
+        ]
+        assert ScenarioSpec(name="x", sweep=axes).sweep == tuple(axes)
+
+    def test_duplicate_axis_parameters_rejected(self):
+        with pytest.raises(ValueError, match="distinct parameters"):
+            ScenarioSpec(
+                name="x",
+                sweep=(
+                    SweepAxis(parameter="loss_probability", values=(0.1,)),
+                    SweepAxis(parameter="loss_probability", values=(0.2,)),
+                ),
+            )
+
+    def test_non_axis_entries_rejected(self):
+        with pytest.raises(ValueError, match="SweepAxis"):
+            ScenarioSpec(name="x", sweep=("loss_probability",))
+
+    def test_sweep_points_cross_product_rightmost_fastest(self):
+        spec = ScenarioSpec(
+            name="x",
+            sweep=(
+                SweepAxis(parameter="flash_capacity_bytes", values=(2048, 1024)),
+                SweepAxis(parameter="loss_probability", values=(0.1, 0.3)),
+            ),
+        )
+        assert spec.sweep_points() == [
+            {"flash_capacity_bytes": 2048, "loss_probability": 0.1},
+            {"flash_capacity_bytes": 2048, "loss_probability": 0.3},
+            {"flash_capacity_bytes": 1024, "loss_probability": 0.1},
+            {"flash_capacity_bytes": 1024, "loss_probability": 0.3},
+        ]
+
+    def test_axis_values_list_normalises_to_tuple(self):
+        assert SweepAxis(
+            parameter="loss_probability", values=[0.1, 0.2]
+        ).values == (0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def grid_campaign():
+    """A 2x2 grid scenario over both harnesses at tiny scale."""
+    spec = ScenarioSpec(
+        name="grid",
+        sweep=(
+            SweepAxis(parameter="flash_capacity_bytes", values=(84480, 5280)),
+            SweepAxis(parameter="loss_probability", values=(0.05, 0.4)),
+        ),
+    )
+    runner = CampaignRunner(small_config(duration_days=0.1))
+    return runner.run([spec])
+
+
+class TestGridExpansion:
+    def test_row_count_is_product_of_axis_lengths(self, grid_campaign):
+        for harness in ("single", "federated"):
+            rows = [
+                r
+                for r in grid_campaign.for_scenario("grid")
+                if r.harness == harness
+            ]
+            assert len(rows) == 4  # 2 x 2 cross product
+            assert len({tuple(sorted(r.sweep_point.items())) for r in rows}) == 4
+
+    def test_each_row_carries_both_coordinates(self, grid_campaign):
+        for result in grid_campaign.for_scenario("grid"):
+            assert set(result.sweep_point) == {
+                "flash_capacity_bytes",
+                "loss_probability",
+            }
+            assert f"flash={result.sweep_point['flash_capacity_bytes']:g}" in (
+                result.variant
+            )
+            assert f"loss={result.sweep_point['loss_probability']:g}" in (
+                result.variant
+            )
+
+    def test_rows_round_trip_coordinates_through_json(self, grid_campaign):
+        rows = json.loads(json.dumps(grid_campaign.rows()))
+        points = [row["sweep"] for row in rows]
+        assert all(len(point) == 2 for point in points)
+        assert points == [dict(r.sweep_point) for r in grid_campaign.results]
+
+    def test_grid_assembles_cells_in_axis_order(self, grid_campaign):
+        grid = grid_campaign.grid(
+            "success_rate",
+            "loss_probability",
+            "flash_capacity_bytes",
+            harness="single",
+        )
+        assert grid.scenario == "grid" and grid.harness == "single"
+        assert grid.x_values == (0.05, 0.4)
+        assert grid.y_values == (84480, 5280)
+        by_point = {
+            tuple(sorted(r.sweep_point.items())): r.row()["success_rate"]
+            for r in grid_campaign.for_scenario("grid")
+            if r.harness == "single"
+        }
+        for iy, y in enumerate(grid.y_values):
+            for ix, x in enumerate(grid.x_values):
+                key = tuple(
+                    sorted(
+                        {
+                            "flash_capacity_bytes": y,
+                            "loss_probability": x,
+                        }.items()
+                    )
+                )
+                assert grid.cells[iy][ix] == by_point[key]
+        table = grid.to_table()
+        assert "success_rate" in table and "0.05" in table and "84480" in table
+
+    def test_grid_ambiguous_harness_rejected(self, grid_campaign):
+        with pytest.raises(ValueError, match="harness"):
+            grid_campaign.grid(
+                "success_rate", "loss_probability", "flash_capacity_bytes"
+            )
+
+    def test_grid_unknown_metric_rejected(self, grid_campaign):
+        with pytest.raises(ValueError, match="metric"):
+            grid_campaign.grid(
+                "made_up",
+                "loss_probability",
+                "flash_capacity_bytes",
+                harness="single",
+            )
+
+    def test_grid_tables_renders_one_table_per_harness(self, grid_campaign):
+        tables = grid_campaign.grid_tables()
+        assert len(tables) == 2  # one grid scenario x both harnesses
+        assert "grid/single — success_rate" in tables[0]
+        assert "grid/federated — success_rate" in tables[1]
+
+    def test_grid_without_matching_axes_rejected(self, grid_campaign):
+        with pytest.raises(ValueError, match="no runs"):
+            grid_campaign.grid(
+                "success_rate",
+                "replica_sync_interval_s",
+                "flash_capacity_bytes",
+                harness="single",
+            )
+
+
+def load_bench_scenarios():
+    """Import benchmarks/bench_scenarios.py the way test_examples loads examples."""
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_scenarios.py"
+    spec = importlib.util.spec_from_file_location("bench_scenarios_for_test", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDriftCoordinateMatching:
+    """--check-drift matches variant rows by coordinates, not label order."""
+
+    def test_row_key_ignores_axis_order(self):
+        bench = load_bench_scenarios()
+        a = {
+            "scenario": "g",
+            "harness": "single",
+            "variant": "flash=5280,loss=0.4",
+            "sweep": {"flash_capacity_bytes": 5280.0, "loss_probability": 0.4},
+        }
+        b = {
+            "scenario": "g",
+            "harness": "single",
+            "variant": "loss=0.4,flash=5280",
+            "sweep": {"loss_probability": 0.4, "flash_capacity_bytes": 5280.0},
+        }
+        assert bench.row_key(a) == bench.row_key(b)
+
+    def test_row_key_parses_legacy_variant_labels(self):
+        bench = load_bench_scenarios()
+        legacy = {
+            "scenario": "flash wear-out",
+            "harness": "single",
+            "variant": "flash=5280",
+        }
+        modern = {
+            "scenario": "flash wear-out",
+            "harness": "single",
+            "variant": "flash=5280",
+            "sweep": {"flash_capacity_bytes": 5280.0},
+        }
+        assert bench.row_key(legacy) == bench.row_key(modern)
+
+    def test_row_key_keeps_duty_cycle_tokens(self):
+        bench = load_bench_scenarios()
+        half = {"scenario": "s", "harness": "single", "variant": "lpl=0.5s"}
+        eight = {"scenario": "s", "harness": "single", "variant": "lpl=8s"}
+        assert bench.row_key(half) != bench.row_key(eight)
+
+    def test_check_drift_matches_reordered_rows(self):
+        bench = load_bench_scenarios()
+        previous = {
+            "rows": [
+                {
+                    "scenario": "g",
+                    "harness": "single",
+                    "variant": "loss=0.4,flash=5280",
+                    "sweep": {
+                        "loss_probability": 0.4,
+                        "flash_capacity_bytes": 5280.0,
+                    },
+                    "success_rate": 0.9,
+                }
+            ]
+        }
+        matching = {
+            "rows": [
+                {
+                    "scenario": "g",
+                    "harness": "single",
+                    "variant": "flash=5280,loss=0.4",
+                    "sweep": {
+                        "flash_capacity_bytes": 5280.0,
+                        "loss_probability": 0.4,
+                    },
+                    "success_rate": 0.89,
+                }
+            ]
+        }
+        assert bench.check_drift(matching, previous, tolerance=0.05) == []
+        regressed = json.loads(json.dumps(matching))
+        regressed["rows"][0]["success_rate"] = 0.5
+        failures = bench.check_drift(regressed, previous, tolerance=0.05)
+        assert len(failures) == 1 and "fell" in failures[0]
+
+    def test_check_drift_flags_missing_coordinates(self):
+        bench = load_bench_scenarios()
+        previous = {
+            "rows": [
+                {
+                    "scenario": "g",
+                    "harness": "single",
+                    "variant": "flash=5280",
+                    "sweep": {"flash_capacity_bytes": 5280.0},
+                    "success_rate": 0.9,
+                }
+            ]
+        }
+        record = {"rows": []}
+        failures = bench.check_drift(record, previous, tolerance=0.05)
+        assert len(failures) == 1 and "missing" in failures[0]
+
+
+class TestSurgeShaping:
+    def _queries(self, workload):
+        runner = CampaignRunner(small_config())
+        spec = ScenarioSpec(name="surge", workload=workload)
+        _, trace, _ = runner._build_trace(spec)
+        return runner, spec, runner._generate_queries(spec, trace, None)
+
+    def test_ramp_profile_densifies_the_window_tail(self):
+        runner, _, queries = self._queries(
+            WorkloadSpec(
+                arrival_rate_per_s=1 / 40.0,
+                surge_multiplier=8.0,
+                surge_start_fraction=0.4,
+                surge_duration_fraction=0.4,
+                surge_profile="ramp",
+            )
+        )
+        duration = runner.config.duration_s
+        times = [q.arrival_time for q in queries]
+        first_half = sum(1 for t in times if 0.4 * duration <= t < 0.6 * duration)
+        second_half = sum(1 for t in times if 0.6 * duration <= t < 0.8 * duration)
+        assert second_half > 1.5 * first_half
+
+    def test_decay_profile_densifies_the_window_head(self):
+        runner, _, queries = self._queries(
+            WorkloadSpec(
+                arrival_rate_per_s=1 / 40.0,
+                surge_multiplier=8.0,
+                surge_start_fraction=0.4,
+                surge_duration_fraction=0.4,
+                surge_profile="decay",
+            )
+        )
+        duration = runner.config.duration_s
+        times = [q.arrival_time for q in queries]
+        first_half = sum(1 for t in times if 0.4 * duration <= t < 0.6 * duration)
+        second_half = sum(1 for t in times if 0.6 * duration <= t < 0.8 * duration)
+        assert first_half > 1.5 * second_half
+
+    def test_shaped_stream_stays_ordered_with_unique_ids(self):
+        _, _, queries = self._queries(
+            WorkloadSpec(
+                arrival_rate_per_s=1 / 60.0,
+                surge_multiplier=6.0,
+                surge_profile="ramp",
+            )
+        )
+        times = [q.arrival_time for q in queries]
+        assert times == sorted(times)
+        ids = [q.query_id for q in queries]
+        assert ids == list(range(len(ids)))
+
+    def test_hotspot_reskew_concentrates_surge_traffic(self):
+        runner, _, flat = self._queries(
+            WorkloadSpec(
+                arrival_rate_per_s=1 / 40.0,
+                surge_multiplier=8.0,
+                surge_start_fraction=0.4,
+                surge_duration_fraction=0.4,
+            )
+        )
+        _, _, skewed = self._queries(
+            WorkloadSpec(
+                arrival_rate_per_s=1 / 40.0,
+                surge_multiplier=8.0,
+                surge_start_fraction=0.4,
+                surge_duration_fraction=0.4,
+                surge_hotspot_zipf=6.0,
+            )
+        )
+        duration = runner.config.duration_s
+
+        def hot_fraction(queries):
+            window = [
+                q
+                for q in queries
+                if 0.4 * duration <= q.arrival_time < 0.8 * duration
+            ]
+            return sum(1 for q in window if q.sensor == 0) / len(window)
+
+        assert hot_fraction(skewed) > hot_fraction(flat) + 0.1
+
+
+class TestFederationRegimePlumbing:
+    def test_spec_override_reaches_federation_config(self):
+        from repro.core import FederationConfig
+
+        runner = CampaignRunner(small_config())
+        pinned = ScenarioSpec(
+            name="x",
+            federation=FederationRegime(replica_sync_interval_s=123.0),
+        )
+        assert runner._federation_config(pinned).replica_sync_interval_s == 123.0
+        default = runner._federation_config(ScenarioSpec(name="y"))
+        assert (
+            default.replica_sync_interval_s
+            == FederationConfig().replica_sync_interval_s
+        )

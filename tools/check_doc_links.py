@@ -1,0 +1,70 @@
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans ``docs/*.md`` and ``README.md`` for ``[text](target)`` links and
+fails when a relative target (file or directory) does not exist on disk.
+External links (http/https/mailto) and pure in-page anchors are skipped —
+this guards the docs' cross-links and module references against rot, not
+the internet.
+
+Run it directly (CI does, next to the spec.py doctests)::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links; deliberately simple — docs here don't nest brackets
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are not filesystem targets
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    """The markdown files under the checker's contract."""
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [*docs, REPO_ROOT / "README.md"]
+
+
+def broken_links(path: Path) -> list[str]:
+    """Human-readable failures for every dangling relative link in *path*."""
+    failures = []
+    try:
+        label = str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        label = str(path)
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK_PATTERN.findall(line):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.partition("#")[0]).resolve()
+            if not resolved.exists():
+                failures.append(f"{label}:{number}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked = 0
+    for path in iter_doc_files():
+        if not path.exists():
+            failures.append(f"expected doc file missing: {path}")
+            continue
+        checked += 1
+        failures.extend(broken_links(path))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"doc links ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
