@@ -26,6 +26,12 @@ cross-scenario invariants that used to live in bespoke harness code:
 * replica staleness at the ``staleness_vs_sync`` proxy death increases
   with the swept sync interval — the staleness/cost knee is real.
 
+``--jobs N`` fans the campaign's variant cross product over a process
+pool (``0`` = one worker per CPU core); results are byte-identical to the
+serial run, and the entry records the campaign wall clock, the
+serial-equivalent cost (sum of per-variant wall clocks) and the resulting
+speedup alongside per-row ``wall_clock_s``.
+
 With ``--check-drift`` the run additionally compares each row's success
 rate against the last same-scale ``BENCH_scenarios.json`` entry and fails
 when any dropped by more than ``--drift-tolerance`` — the campaign
@@ -33,11 +39,15 @@ regression gate CI runs on every PR.  Rows are matched by their sweep
 *coordinates* (the ``sweep`` dict each row carries), not by variant-label
 order, so re-ordering a scenario's axis values cannot fake or mask drift;
 rows from history predating the coordinate dicts are matched by parsing
-their variant labels.
+their variant labels.  The same gate flags wall-clock regressions: a
+serial-equivalent campaign cost more than ``--wall-tolerance`` (default
+50%) above the previous same-scale entry's fails too, so the parallel
+speedup is itself a drift-tracked benchmark number.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_scenarios.py            # default scale
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --jobs 0   # all cores
     PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke --check-drift
 """
@@ -62,13 +72,15 @@ from repro.scenarios.runner import SWEEP_LABELS
 RESULT_PATH = Path(__file__).resolve().parent / "results" / "scenario_campaign.txt"
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
 
-#: row metrics persisted into the regression history
+#: row metrics persisted into the regression history (``wall_clock_s`` is
+#: the per-variant simulation cost; only campaign-level totals are gated)
 TRACKED_METRICS = (
     "success_rate",
     "mean_error",
     "energy_per_day_j",
     "answered_fraction",
     "notification_recall",
+    "wall_clock_s",
 )
 
 #: variant-label shorthand back to the sweep parameter it abbreviates
@@ -289,6 +301,7 @@ def build_record(report: CampaignReport, scale: str) -> dict:
             "variant": row["variant"],
             "sweep": {k: float(v) for k, v in row["sweep"].items()},
             **{metric: _json_safe(row[metric]) for metric in TRACKED_METRICS},
+            "wall_clock_s": round(float(row["wall_clock_s"]), 3),
         }
         for row in report.rows()
     ]
@@ -297,6 +310,12 @@ def build_record(report: CampaignReport, scale: str) -> dict:
         "scale": scale,
         "n_sensors": report.config.n_sensors,
         "duration_days": report.config.duration_days,
+        "jobs": report.jobs,
+        "wall_clock_s": round(report.wall_clock_s, 3),
+        "variant_wall_clock_s": round(report.variant_wall_clock_s, 3),
+        "speedup": _json_safe(
+            round(report.speedup, 3) if math.isfinite(report.speedup) else report.speedup
+        ),
         "rows": rows,
     }
 
@@ -378,6 +397,31 @@ def check_drift(
     return failures
 
 
+def check_wall_clock(
+    record: dict, previous: dict | None, tolerance: float
+) -> list[str]:
+    """Campaign wall-clock regressions vs the last same-scale entry.
+
+    Gates on ``variant_wall_clock_s`` — the serial-equivalent cost (sum of
+    per-variant wall clocks), which is comparable across ``--jobs``
+    settings — with a multiplicative tolerance band: the current cost may
+    exceed the previous by at most ``tolerance`` (0.5 = +50%, absorbing
+    runner-to-runner noise while catching real hot-path regressions).
+    Entries predating the timing fields are skipped, not failed.
+    """
+    if previous is None or previous.get("variant_wall_clock_s") is None:
+        return []
+    before = float(previous["variant_wall_clock_s"])
+    after = float(record["variant_wall_clock_s"])
+    if before > 0 and after > before * (1.0 + tolerance):
+        return [
+            f"campaign serial-equivalent wall clock rose "
+            f"{before:.1f}s -> {after:.1f}s "
+            f"(> +{100 * tolerance:.0f}% tolerance band)"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -403,20 +447,35 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="allowed success-rate drop before --check-drift fails",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the variant fan-out "
+        "(0 = one per CPU core; results identical at any value)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional rise in the campaign's serial-equivalent "
+        "wall clock before --check-drift fails (0.5 = +50%%)",
+    )
     args = parser.parse_args(argv)
 
     config = CampaignConfig.smoke() if args.smoke else CampaignConfig()
     runner = CampaignRunner(config)
-    started = time.perf_counter()
-    report = runner.run(list(builtin_scenarios().values()))
-    elapsed = time.perf_counter() - started
+    report = runner.run(list(builtin_scenarios().values()), jobs=args.jobs)
 
     scale = "smoke" if args.smoke else "default"
     title = (
         f"Scenario campaign ({scale} scale): "
         f"{config.n_sensors} sensors x {config.duration_days:g} days, "
         f"{config.n_proxies} federated proxies, "
-        f"{len(report.results)} runs in {elapsed:.1f}s"
+        f"{len(report.results)} runs in {report.wall_clock_s:.1f}s "
+        f"(jobs={report.jobs}, serial-equivalent "
+        f"{report.variant_wall_clock_s:.1f}s, speedup {report.speedup:.2f}x)"
     )
     table = report.to_table()
     grids = report.grid_tables()
@@ -443,12 +502,14 @@ def main(argv: list[str] | None = None) -> int:
     failures = check_invariants(report)
     if args.check_drift:
         drift = check_drift(record, previous, args.drift_tolerance)
+        drift += check_wall_clock(record, previous, args.wall_tolerance)
         if previous is None:
             print("drift check: no prior entry at this scale (first run)")
         elif not drift:
             print(
-                f"drift check: no success-rate regression vs "
-                f"{previous['recorded_at']} (tolerance {args.drift_tolerance})"
+                f"drift check: no success-rate or wall-clock regression vs "
+                f"{previous['recorded_at']} (tolerances "
+                f"{args.drift_tolerance} / +{100 * args.wall_tolerance:.0f}%)"
             )
         failures.extend(drift)
     if failures:

@@ -11,6 +11,7 @@ Usage::
     python -m repro scenarios  [--campaign default|smoke] [--scenario NAME]
                                [--harness both|single|federated] [--list]
                                [--sweep PARAM=START:STOP:STEPS ...]
+                               [--jobs N] [--grid-csv DIR]
 
 ``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
 one PRESTO cell and prints its report; ``models`` compares push suppression
@@ -20,13 +21,17 @@ proxy mid-run to exercise replica failover); ``scenarios`` executes the
 built-in adverse-regime campaign — including regional loss, failure
 cascades, wear-out and workload sweeps, and adversarially timed anomalies
 — over both harnesses and prints one consolidated report with per-fault
-replica staleness.
+replica staleness.  ``--jobs N`` fans the campaign's variant cross
+product over a process pool (``0`` = one worker per core) with identical
+results; per-variant completion streams to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import re
+from pathlib import Path
 
 import numpy as np
 
@@ -292,7 +297,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                 n_proxies=args.proxies if args.proxies is not None else 3,
             )
         runner = CampaignRunner(config)
-        report = runner.run(chosen)
+        report = runner.run(chosen, jobs=args.jobs)
     except ValueError as error:
         print(f"error: {error}")
         return 2
@@ -301,9 +306,26 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         f"{'+'.join(config.harnesses)} — {config.n_sensors} sensors, "
         f"{config.duration_days:g} days, {config.n_proxies} federated proxies"
     )
+    print(
+        f"{len(report.results)} runs in {report.wall_clock_s:.1f}s wall clock "
+        f"(jobs={report.jobs}, serial-equivalent "
+        f"{report.variant_wall_clock_s:.1f}s, speedup {report.speedup:.2f}x)"
+    )
     print(report.to_table())
-    for table in report.grid_tables():
-        print(f"\n{table}")
+    grids = report.grids()
+    for grid in grids:
+        print(f"\n{grid.to_table()}")
+    if args.grid_csv is not None:
+        args.grid_csv.mkdir(parents=True, exist_ok=True)
+        for grid in grids:
+            slug = re.sub(
+                r"[^A-Za-z0-9_.-]+",
+                "_",
+                f"{grid.scenario}_{grid.harness}_{grid.metric}",
+            )
+            path = args.grid_csv / f"{slug}.csv"
+            path.write_text(grid.to_csv())
+            print(f"grid csv -> {path}")
     staleness_lines = [
         f"  {result.label}: "
         + ", ".join(
@@ -370,6 +392,22 @@ def build_parser() -> argparse.ArgumentParser:
                 help="replace the chosen scenarios' sweep with this axis "
                 "(repeatable; the flags' cross product becomes the grid; "
                 "also accepts PARAM=V1,V2,...)",
+            )
+            sub.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                metavar="N",
+                help="worker processes for the campaign's variant fan-out "
+                "(default 1 = serial; 0 = one worker per CPU core; "
+                "results are identical at any value)",
+            )
+            sub.add_argument(
+                "--grid-csv",
+                type=Path,
+                default=None,
+                metavar="DIR",
+                help="also write each assembled sweep grid as CSV into DIR",
             )
             sub.add_argument(
                 "--list", action="store_true", help="list built-in scenarios"

@@ -23,6 +23,12 @@ arrival rate the staleness/cost knee.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import math
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -83,10 +89,17 @@ class CampaignConfig:
     model_kind: str = "arima"
     refit_interval_s: float = 3 * 3600.0
     min_training_epochs: int = 128
+    #: worker processes for :meth:`CampaignRunner.run` — ``None``/``1``
+    #: run serially in-process, ``0`` means one worker per CPU core, and
+    #: ``N > 1`` pins the pool size.  Variant rows are byte-identical
+    #: whatever the value (see :meth:`CampaignRunner.variant_seed`).
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_sensors < 1:
             raise ValueError("need >= 1 sensor")
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = all cores), got {self.jobs}")
         if self.duration_days <= 0:
             raise ValueError("duration must be positive")
         if not self.harnesses or any(h not in HARNESSES for h in self.harnesses):
@@ -145,6 +158,10 @@ class ScenarioResult:
     faults_applied: int = 0
     #: per-death replica staleness at failover (federated runs with faults)
     replica_staleness_s: tuple[float, ...] = ()
+    #: wall-clock cost of this variant's simulation (the only row field
+    #: allowed to differ between serial and parallel executions of the
+    #: same campaign — everything else is seed-pinned byte-identical)
+    wall_clock_s: float = 0.0
 
     @property
     def label(self) -> str:
@@ -171,6 +188,7 @@ class ScenarioResult:
             "events_injected": float(self.events_injected),
             "worst_notification_latency_s": self.worst_notification_latency_s,
             "aged_segments": float(report.archive_aged_segments),
+            "wall_clock_s": self.wall_clock_s,
         }
         failovers = getattr(report, "failovers", None)
         if failovers is not None:
@@ -201,8 +219,27 @@ class SweepGrid:
     y_values: tuple[float, ...]
     cells: tuple[tuple[float | None, ...], ...]
 
+    #: heatmap shades, low to high, over the grid's finite value range
+    HEAT_GLYPHS = "·░▒▓█"
+
+    def _heat_glyph(self, cell: float | None, lo: float, hi: float) -> str:
+        """The shade for one cell (``-`` for missing/non-finite cells)."""
+        if cell is None or not math.isfinite(cell):
+            return "-"
+        if hi <= lo:
+            return self.HEAT_GLYPHS[-1]
+        position = (cell - lo) / (hi - lo)
+        index = min(int(position * len(self.HEAT_GLYPHS)), len(self.HEAT_GLYPHS) - 1)
+        return self.HEAT_GLYPHS[index]
+
     def to_table(self) -> str:
-        """Aligned fixed-width text rendering of the 2-D table."""
+        """Aligned fixed-width text rendering of the 2-D table.
+
+        Below the numeric rows, a unicode heatmap repeats the grid with
+        each cell shaded by its position in the grid's value range
+        (``·░▒▓█``, low to high) — the knee is visible at a glance in the
+        same column alignment as the numbers.
+        """
         title = (
             f"{self.scenario}/{self.harness} — {self.metric} "
             f"(rows: {self.y_parameter}, columns: {self.x_parameter})"
@@ -224,7 +261,42 @@ class SweepGrid:
                 f"{y_value:<{stub_width}g}"
                 + "".join(f"{cell:>{width}}" for cell in rendered)
             )
+        finite = [
+            cell
+            for row in self.cells
+            for cell in row
+            if cell is not None and math.isfinite(cell)
+        ]
+        if finite:
+            lo, hi = min(finite), max(finite)
+            lines.append(
+                f"heatmap ({self.HEAT_GLYPHS} = {lo:g}→{hi:g})"
+            )
+            for y_value, row in zip(self.y_values, self.cells):
+                lines.append(
+                    f"{y_value:<{stub_width}g}"
+                    + "".join(
+                        f"{self._heat_glyph(cell, lo, hi):>{width}}"
+                        for cell in row
+                    )
+                )
         return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The grid as CSV: first column is the y axis, one column per
+        x value, full-precision cell values (empty cell = never ran)."""
+        header = [f"{self.y_parameter}/{self.x_parameter}"] + [
+            f"{value:g}" for value in self.x_values
+        ]
+        lines = [",".join(header)]
+        for y_value, row in zip(self.y_values, self.cells):
+            lines.append(
+                ",".join(
+                    [f"{y_value:g}"]
+                    + ["" if cell is None else repr(float(cell)) for cell in row]
+                )
+            )
+        return "\n".join(lines) + "\n"
 
 
 @dataclass
@@ -233,6 +305,26 @@ class CampaignReport:
 
     config: CampaignConfig
     results: list[ScenarioResult] = field(default_factory=list)
+    #: resolved worker count the campaign executed with (1 = serial)
+    jobs: int = 1
+    #: end-to-end campaign wall clock (set by :meth:`CampaignRunner.run`)
+    wall_clock_s: float = 0.0
+
+    @property
+    def variant_wall_clock_s(self) -> float:
+        """Sum of per-variant wall clocks — the serial-equivalent cost.
+
+        With ``jobs > 1`` this exceeds :attr:`wall_clock_s`; the ratio is
+        the campaign's parallel :attr:`speedup`.
+        """
+        return float(sum(result.wall_clock_s for result in self.results))
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent cost over actual wall clock (NaN untimed)."""
+        if self.wall_clock_s <= 0:
+            return float("nan")
+        return self.variant_wall_clock_s / self.wall_clock_s
 
     def rows(self) -> list[dict[str, float | str | dict[str, float]]]:
         """One flat metrics dict per run."""
@@ -257,6 +349,7 @@ class CampaignReport:
         y_axis: str,
         scenario: str | None = None,
         harness: str | None = None,
+        fix: dict[str, float] | None = None,
     ) -> SweepGrid:
         """Re-assemble *metric* over two sweep axes as a :class:`SweepGrid`.
 
@@ -264,15 +357,31 @@ class CampaignReport:
         both *x_axis* and *y_axis* coordinates; *scenario* / *harness* may
         be omitted when the campaign leaves only one candidate (a campaign
         with one grid scenario run over one harness needs neither).
+        *fix* slices a 3+-axis grid: ``fix={"loss_probability": 0.05}``
+        keeps only the runs pinning that coordinate, so the remaining two
+        axes chart cleanly (chart a cube two axes at a time).
         Raises :class:`ValueError` on an ambiguous selection or when two
         runs land on the same grid point (e.g. a grid combined with
         duty-cycle points — filter with *harness* and assemble per point).
         """
+        overlap = set(fix or ()) & {x_axis, y_axis}
+        if overlap:
+            raise ValueError(
+                f"fix pins {sorted(overlap)} which are chart axes; "
+                "fix only the axes the chart leaves out"
+            )
         candidates = [
             r
             for r in self.results
             if x_axis in r.sweep_point and y_axis in r.sweep_point
         ]
+        for parameter, value in (fix or {}).items():
+            candidates = [
+                r
+                for r in candidates
+                if parameter in r.sweep_point
+                and r.sweep_point[parameter] == float(value)
+            ]
         if scenario is not None:
             candidates = [r for r in candidates if r.scenario == scenario]
         if harness is not None:
@@ -282,6 +391,7 @@ class CampaignReport:
                 f"no runs sweep both {x_axis!r} and {y_axis!r}"
                 + (f" for scenario {scenario!r}" if scenario else "")
                 + (f" on harness {harness!r}" if harness else "")
+                + (f" at fix={fix}" if fix else "")
             )
         scenarios = {r.scenario for r in candidates}
         if len(scenarios) > 1:
@@ -329,17 +439,15 @@ class CampaignReport:
             ),
         )
 
-    def grid_tables(self, metric: str = "success_rate") -> list[str]:
-        """Rendered 2-D tables for every (grid scenario, harness) run.
+    def grids(self, metric: str = "success_rate") -> list[SweepGrid]:
+        """Assembled 2-D grids for every (grid scenario, harness) run.
 
         Scenarios whose runs carry two or more sweep coordinates are
         assembled with their first declared axis as rows and their last
         as columns; combinations :meth:`grid` rejects (e.g. a grid
-        crossed with duty-cycle points) are skipped.  This is the shared
-        rendering the CLI and the campaign benchmark both append after
-        the main table.
+        crossed with duty-cycle points) are skipped.
         """
-        tables: list[str] = []
+        grids: list[SweepGrid] = []
         for name in self.scenarios():
             gridded = [
                 r for r in self.for_scenario(name) if len(r.sweep_point) >= 2
@@ -358,8 +466,16 @@ class CampaignReport:
                     )
                 except ValueError:
                     continue
-                tables.append(grid.to_table())
-        return tables
+                grids.append(grid)
+        return grids
+
+    def grid_tables(self, metric: str = "success_rate") -> list[str]:
+        """Rendered 2-D tables (with heatmaps) for every assembled grid.
+
+        This is the shared rendering the CLI and the campaign benchmark
+        both append after the main table.
+        """
+        return [grid.to_table() for grid in self.grids(metric)]
 
     def to_table(self) -> str:
         """Fixed-width summary table of every run."""
@@ -408,44 +524,253 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _WorkItem:
+    """One variant of the flattened campaign cross product.
+
+    Items are picklable (frozen dataclass over a frozen spec and plain
+    values), so the pool can ship them to workers; the prepared trace is
+    *not* carried here — workers resolve it from their per-process
+    scenario table via ``scenario_index``, so each worker receives every
+    trace at most once instead of once per variant.
+    """
+
+    index: int                    # position in the campaign's result order
+    scenario_index: int           # into the runner's prepared-trace table
+    spec: ScenarioSpec
+    harness: str
+    sweep_point: dict[str, float] | None
+    duty_cycle_point: float | None
+
+    @property
+    def label(self) -> str:
+        """Human-readable id for progress and error lines."""
+        variant = CampaignRunner._variant_label(
+            self.duty_cycle_point, self.sweep_point
+        )
+        suffix = f" [{variant}]" if variant else ""
+        return f"{self.spec.name}/{self.harness}{suffix}"
+
+
+#: per-worker state installed by :func:`_pool_init` (config + traces ride
+#: to each worker once, at pool start, not once per variant)
+_POOL_STATE: dict = {}
+
+
+def _pool_init(config: CampaignConfig, prepared: list) -> None:
+    """Process-pool initializer: build this worker's runner once."""
+    _POOL_STATE["runner"] = CampaignRunner(config)
+    _POOL_STATE["prepared"] = prepared
+
+
+def _pool_run(item: _WorkItem) -> tuple[int, "ScenarioResult"]:
+    """Execute one work item inside a pool worker."""
+    runner: CampaignRunner = _POOL_STATE["runner"]
+    result = runner.run_one(
+        item.spec,
+        item.harness,
+        item.duty_cycle_point,
+        sweep_point=item.sweep_point,
+        _prepared=_POOL_STATE["prepared"][item.scenario_index],
+    )
+    return item.index, result
+
+
 class CampaignRunner:
-    """Executes scenario specs over the single-cell and federated harnesses."""
+    """Executes scenario specs over the single-cell and federated harnesses.
+
+    Campaigns are embarrassingly parallel: every variant row is an
+    independent deterministic simulation, so ``run(jobs=N)`` fans the
+    flattened ``(scenario, harness, sweep point, duty-cycle point)`` cross
+    product over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each
+    variant seeds its RNGs from :meth:`variant_seed` — a stable hash of the
+    campaign seed and the variant's coordinates — so serial and parallel
+    runs produce byte-identical rows, in the same deterministic order.
+    """
 
     def __init__(self, config: CampaignConfig | None = None) -> None:
         self.config = config or CampaignConfig()
 
     # -- campaign entry ----------------------------------------------------------
 
-    def run(self, scenarios: list[ScenarioSpec] | tuple[ScenarioSpec, ...]) -> CampaignReport:
+    def resolve_jobs(self, jobs: int | None = None) -> int:
+        """The worker count to run with: *jobs*, else the config's, else 1.
+
+        ``0`` (from either source) means one worker per CPU core.
+        """
+        if jobs is None:
+            jobs = self.config.jobs
+        if jobs is None:
+            return 1
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+        return jobs or (os.cpu_count() or 1)
+
+    def variant_seed(
+        self,
+        scenario: str,
+        harness: str,
+        sweep_point: dict[str, float] | None = None,
+        duty_cycle_point: float | None = None,
+    ) -> int:
+        """Deterministic per-variant RNG seed.
+
+        Derived by hashing ``(campaign seed, scenario name, harness,
+        canonicalised sweep coordinates, duty-cycle point)`` — a pure
+        function of the variant's identity, never of execution order — so
+        a variant draws the same randomness whether it runs serially, in
+        any worker of any pool size, or alone through :meth:`run_one`.
+        Coordinates are canonicalised (sorted by parameter, values as
+        float ``repr``) so axis declaration order cannot change the seed.
+        """
+        coordinates = ",".join(
+            f"{parameter}={float(value)!r}"
+            for parameter, value in sorted((sweep_point or {}).items())
+        )
+        duty = "-" if duty_cycle_point is None else repr(float(duty_cycle_point))
+        key = f"{self.config.seed}|{scenario}|{harness}|{coordinates}|{duty}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % (2**31)
+
+    def work_items(
+        self, scenarios: list[ScenarioSpec] | tuple[ScenarioSpec, ...]
+    ) -> list[_WorkItem]:
+        """Flatten the campaign cross product into independent work items.
+
+        One item per ``(scenario, harness, sweep point, duty-cycle
+        point)``; item order is the campaign's deterministic result order
+        regardless of how (or where) the items execute.
+        """
+        items: list[_WorkItem] = []
+        for scenario_index, spec in enumerate(scenarios):
+            points: tuple[float | None, ...] = (
+                spec.radio.duty_cycle_points or (None,)
+            )
+            sweep_points = spec.sweep_points()
+            for harness in self.config.harnesses:
+                for sweep_point in sweep_points:
+                    for point in points:
+                        items.append(
+                            _WorkItem(
+                                index=len(items),
+                                scenario_index=scenario_index,
+                                spec=spec,
+                                harness=harness,
+                                sweep_point=sweep_point or None,
+                                duty_cycle_point=point,
+                            )
+                        )
+        return items
+
+    def run(
+        self,
+        scenarios: list[ScenarioSpec] | tuple[ScenarioSpec, ...],
+        jobs: int | None = None,
+    ) -> CampaignReport:
         """Run every scenario over every configured harness and grid point.
 
         A scenario's sweep axes expand as their cross product
         (:meth:`~repro.scenarios.spec.ScenarioSpec.sweep_points`): two
         3-value axes produce nine variant rows per harness, each tagged
         with its ``{parameter: value}`` coordinates.
+
+        *jobs* (default: the config's ``jobs``, default serial) fans the
+        variants over a process pool; ``0`` means one worker per core.
+        Whatever the worker count, the report's rows are byte-identical
+        and in the same order — only the per-variant ``wall_clock_s``
+        timing fields differ.  When a worker raises, the failed variants
+        fall back to in-process serial execution.
         """
-        report = CampaignReport(config=self.config)
-        for spec in scenarios:
-            # One trace per scenario: every harness and grid point replays
-            # the identical perturbed signal (and saves the regeneration).
-            # No supported sweep parameter touches trace generation, so the
-            # share is exact across the whole grid too.
-            prepared = self._build_trace(spec)
-            points: tuple[float | None, ...] = spec.radio.duty_cycle_points or (None,)
-            sweep_points = spec.sweep_points()
-            for harness in self.config.harnesses:
-                for sweep_point in sweep_points:
-                    for point in points:
-                        report.results.append(
-                            self.run_one(
-                                spec,
-                                harness,
-                                point,
-                                sweep_point=sweep_point or None,
-                                _prepared=prepared,
-                            )
+        resolved = self.resolve_jobs(jobs)
+        started = time.perf_counter()
+        # One trace per scenario: every harness and grid point replays the
+        # identical perturbed signal (and saves the regeneration).  No
+        # supported sweep parameter touches trace generation, so the share
+        # is exact across the whole grid too.  The shared arrays are
+        # frozen read-only: serial variants must not mutate what their
+        # siblings will replay (workers operate on copies regardless).
+        prepared = [self._build_trace(spec) for spec in scenarios]
+        items = self.work_items(scenarios)
+        if resolved > 1 and len(items) > 1:
+            results = self._run_parallel(items, prepared, resolved)
+        else:
+            results = [
+                self.run_one(
+                    item.spec,
+                    item.harness,
+                    item.duty_cycle_point,
+                    sweep_point=item.sweep_point,
+                    _prepared=prepared[item.scenario_index],
+                )
+                for item in items
+            ]
+        return CampaignReport(
+            config=self.config,
+            results=results,
+            jobs=resolved,
+            wall_clock_s=time.perf_counter() - started,
+        )
+
+    def _run_parallel(
+        self, items: list[_WorkItem], prepared: list, jobs: int
+    ) -> list[ScenarioResult]:
+        """Fan *items* over a process pool; deterministic result order.
+
+        Completion streams to stderr as variants finish (they finish out
+        of order; the report keeps work-item order).  Any variant the
+        pool fails to deliver — a raising worker, a broken pool, an
+        unpicklable result — is re-run serially in-process, so a
+        parallel campaign degrades to the serial one instead of dying.
+        """
+        results: list[ScenarioResult | None] = [None] * len(items)
+        completed = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(items)),
+                initializer=_pool_init,
+                initargs=(self.config, prepared),
+            ) as pool:
+                futures = {pool.submit(_pool_run, item): item for item in items}
+                for future in as_completed(futures):
+                    item = futures[future]
+                    try:
+                        index, result = future.result()
+                    except Exception as error:
+                        self._progress(
+                            f"worker failed on {item.label}: {error!r}; "
+                            "falling back to serial"
                         )
-        return report
+                        continue
+                    results[index] = result
+                    completed += 1
+                    self._progress(
+                        f"[{completed}/{len(items)}] {item.label} "
+                        f"{result.wall_clock_s:.1f}s"
+                    )
+        except Exception as error:
+            self._progress(
+                f"process pool failed ({error!r}); "
+                "running remaining variants serially"
+            )
+        for item in items:
+            if results[item.index] is None:
+                results[item.index] = self.run_one(
+                    item.spec,
+                    item.harness,
+                    item.duty_cycle_point,
+                    sweep_point=item.sweep_point,
+                    _prepared=prepared[item.scenario_index],
+                )
+                completed += 1
+                self._progress(
+                    f"[{completed}/{len(items)}] {item.label} (serial fallback)"
+                )
+        return results  # type: ignore[return-value]  # every slot filled above
+
+    @staticmethod
+    def _progress(message: str) -> None:
+        """Streamed per-variant progress — stderr, so stdout stays a report."""
+        print(message, file=sys.stderr, flush=True)
 
     @staticmethod
     def _apply_sweep(
@@ -504,10 +829,17 @@ class CampaignRunner:
 
         *sweep_point* maps axis parameters to the values this run pins
         them at — one coordinate per :class:`SweepAxis` of the spec.
+
+        Every RNG in the run seeds off :meth:`variant_seed` (the trace is
+        the exception: it is shared across the scenario's whole grid and
+        keeps the campaign seed), so this method returns byte-identical
+        results wherever and whenever the variant executes.
         """
         if harness not in HARNESSES:
             raise ValueError(f"unknown harness {harness!r}; expected {HARNESSES}")
+        started = time.perf_counter()
         cfg = self.config
+        seed = self.variant_seed(spec.name, harness, sweep_point, duty_cycle_point)
         base, trace, events = (
             _prepared if _prepared is not None else self._build_trace(spec)
         )
@@ -523,7 +855,7 @@ class CampaignRunner:
             system = PrestoSystem(
                 trace,
                 presto,
-                seed=cfg.seed + 1,
+                seed=seed + 1,
                 model_clocks=spec.clocks.model_clocks,
                 clock_model=clock_model,
             )
@@ -535,7 +867,7 @@ class CampaignRunner:
                 trace,
                 presto,
                 federation=self._federation_config(spec),
-                seed=cfg.seed + 1,
+                seed=seed + 1,
                 model_clocks=spec.clocks.model_clocks,
                 clock_model=clock_model,
             )
@@ -547,7 +879,7 @@ class CampaignRunner:
             faults_applied = self._schedule_faults(spec, system)
         armed = self._arm_standing_queries(spec, base, proxies)
         bursts = self._schedule_bursts(spec, system.sim, networks)
-        queries = self._generate_queries(spec, trace, shards)
+        queries = self._generate_queries(spec, trace, shards, seed)
         report = system.run(queries=queries, duration_s=cfg.duration_s)
         notifications = self._collect_notifications(proxies) if armed else []
         recall, qualifying, worst_latency = self._notification_recall(
@@ -567,6 +899,7 @@ class CampaignRunner:
             bursts_scheduled=bursts,
             faults_applied=faults_applied,
             replica_staleness_s=tuple(getattr(report, "fault_staleness_s", ())),
+            wall_clock_s=time.perf_counter() - started,
         )
 
     @staticmethod
@@ -606,8 +939,12 @@ class CampaignRunner:
         spec: ScenarioSpec,
         trace: TraceSet,
         shards: list[list[int]] | None,
+        seed: int,
     ) -> list[Query]:
         """The scenario's query stream, including any surge window.
+
+        *seed* is the run's :meth:`variant_seed`; the arrival, surge and
+        thinning streams draw from fixed offsets of it.
 
         Queries start after a warm-up — an hour, clamped for horizons so
         short that a fixed hour would leave an empty arrival interval.  A
@@ -645,7 +982,7 @@ class CampaignRunner:
             return ShardedWorkloadGenerator(shards, config, rng)
 
         warmup_s = min(3600.0, 0.1 * cfg.duration_s)
-        queries = make_generator(rate, cfg.seed + 2).generate(
+        queries = make_generator(rate, seed + 2).generate(
             warmup_s, cfg.duration_s
         )
         if workload.surges:
@@ -658,11 +995,11 @@ class CampaignRunner:
             if end > start:
                 extra = make_generator(
                     rate * (workload.surge_multiplier - 1.0),
-                    cfg.seed + 23,
+                    seed + 23,
                     zipf_exponent=workload.surge_hotspot_zipf,
                 ).generate(start, end)
                 if workload.surge_profile != "flat":
-                    thinning = np.random.default_rng(cfg.seed + 29)
+                    thinning = np.random.default_rng(seed + 29)
                     span = end - start
                     extra = [
                         query
@@ -685,10 +1022,30 @@ class CampaignRunner:
 
     # -- run assembly ------------------------------------------------------------
 
+    @staticmethod
+    def _freeze_trace(trace: TraceSet) -> TraceSet:
+        """Mark a prepared trace's arrays read-only.
+
+        One prepared trace is shared by every variant of a scenario (and,
+        serially, every variant runs against the *same* object — workers
+        at least get pickled copies).  Nothing in the simulation stack
+        writes to trace arrays, but that used to be incidental; freezing
+        turns an accidental in-place perturbation into an immediate
+        ``ValueError`` instead of silent cross-variant contamination.
+        """
+        for array in (trace.timestamps, trace.values, trace.clean_values):
+            if array is not None:
+                array.setflags(write=False)
+        return trace
+
     def _build_trace(
         self, spec: ScenarioSpec
     ) -> tuple[TraceSet, TraceSet, list[InjectedEvent]]:
-        """Generate the base trace and apply the spec's perturbations."""
+        """Generate the base trace and apply the spec's perturbations.
+
+        The returned traces are frozen read-only — they are shared by
+        every variant of the scenario's grid and must not be mutated.
+        """
         cfg = self.config
         trace_config = IntelLabConfig(
             n_sensors=cfg.n_sensors,
@@ -696,7 +1053,9 @@ class CampaignRunner:
             epoch_s=cfg.epoch_s,
             dropout_rate=spec.trace.dropout_rate,
         )
-        base = IntelLabGenerator(trace_config, seed=cfg.seed).generate()
+        base = self._freeze_trace(
+            IntelLabGenerator(trace_config, seed=cfg.seed).generate()
+        )
         if not spec.injects_events:
             return base, base, []
         if spec.trace.align_to_bursts:
@@ -715,7 +1074,7 @@ class CampaignRunner:
                 duration_epochs=spec.trace.event_duration_epochs,
                 kind=EventKind.STEP,
             )
-            return base, trace, events
+            return base, self._freeze_trace(trace), events
         trace, events = inject_events(
             base,
             np.random.default_rng(cfg.seed + 13),
@@ -723,7 +1082,7 @@ class CampaignRunner:
             magnitude=spec.trace.event_magnitude,
             duration_epochs=spec.trace.event_duration_epochs,
         )
-        return base, trace, events
+        return base, self._freeze_trace(trace), events
 
     def _burst_starts(self, spec: ScenarioSpec) -> list[float]:
         """Virtual start times of every interference burst in the run."""

@@ -44,6 +44,18 @@ class TestParser:
             "flash_capacity_bytes=84480,5280",
         ]
 
+    def test_scenarios_jobs_flag(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.jobs is None and args.grid_csv is None
+        args = build_parser().parse_args(["scenarios", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["scenarios", "--jobs", "0"])
+        assert args.jobs == 0
+        args = build_parser().parse_args(["scenarios", "--grid-csv", "out"])
+        assert str(args.grid_csv) == "out"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--jobs", "two"])
+
     def test_federation_flags(self):
         args = build_parser().parse_args(
             ["federation", "--proxies", "3", "--shard-policy", "round_robin",
@@ -134,6 +146,27 @@ class TestCommands:
             assert variant in output
         # the 2-D knee chart is printed after the campaign table
         assert "nominal/single — success_rate" in output
+
+    def test_scenarios_parallel_with_grid_csv(self, capsys, tmp_path):
+        assert main(
+            ["scenarios", "--campaign", "smoke", "--scenario", "nominal",
+             "--harness", "single", "--jobs", "2",
+             "--sweep", "loss_probability=0.05,0.3",
+             "--sweep", "flash_capacity_bytes=84480,5280",
+             "--grid-csv", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "jobs=2" in output
+        assert "wall clock" in output and "speedup" in output
+        # the knee chart carries its unicode heatmap legend
+        assert "heatmap (·░▒▓█" in output
+        csv_path = tmp_path / "nominal_single_success_rate.csv"
+        assert csv_path.exists()
+        csv = csv_path.read_text()
+        assert csv.splitlines()[0] == (
+            "loss_probability/flash_capacity_bytes,84480,5280"
+        )
+        assert len(csv.splitlines()) == 3  # header + one row per loss value
 
     def test_scenarios_rejects_bad_sweep(self, capsys):
         assert main(["scenarios", "--sweep", "loss_probability=0.1:0.4"]) == 2

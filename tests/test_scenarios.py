@@ -664,7 +664,9 @@ class TestSurgeWorkload:
             ),
         )
         _, trace, _ = runner._build_trace(spec)
-        queries = runner._generate_queries(spec, trace, None)
+        queries = runner._generate_queries(
+            spec, trace, None, runner.variant_seed(spec.name, "single")
+        )
         times = [q.arrival_time for q in queries]
         assert times == sorted(times)
         ids = [q.query_id for q in queries]
@@ -676,8 +678,9 @@ class TestSurgeWorkload:
     def test_scenario_rate_overrides_campaign_default(self):
         runner = CampaignRunner(small_config())  # campaign default 1/400
         _, trace, _ = runner._build_trace(ScenarioSpec(name="x"))
+        seed = runner.variant_seed("x", "single")
         default_queries = runner._generate_queries(
-            ScenarioSpec(name="x"), trace, None
+            ScenarioSpec(name="x"), trace, None, seed
         )
         fast_queries = runner._generate_queries(
             ScenarioSpec(
@@ -685,6 +688,7 @@ class TestSurgeWorkload:
             ),
             trace,
             None,
+            seed,
         )
         assert len(fast_queries) > 3 * len(default_queries)
 
@@ -1024,7 +1028,9 @@ class TestSurgeShaping:
         runner = CampaignRunner(small_config())
         spec = ScenarioSpec(name="surge", workload=workload)
         _, trace, _ = runner._build_trace(spec)
-        return runner, spec, runner._generate_queries(spec, trace, None)
+        return runner, spec, runner._generate_queries(
+            spec, trace, None, runner.variant_seed(spec.name, "single")
+        )
 
     def test_ramp_profile_densifies_the_window_tail(self):
         runner, _, queries = self._queries(
