@@ -47,14 +47,16 @@ from repro.baselines.strategies import (
     figure2_trace_config,
 )
 from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
-from repro.core.config import SHARD_POLICIES
+from repro.core.config import PARTITION_BACKENDS, SHARD_POLICIES
 from repro.scenarios import (
     HARNESSES,
     CampaignConfig,
     CampaignRunner,
     SweepAxis,
+    all_scenarios,
     builtin_scenarios,
 )
+from repro.serving import ServingConfig
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 from repro.traces.workload import (
     QueryWorkloadConfig,
@@ -187,12 +189,22 @@ def cmd_federation(args: argparse.Namespace) -> int:
             n_proxies=args.proxies,
             shard_policy=args.shard_policy,
             replication_factor=args.replication_factor,
+            partitions=args.partitions,
+            partition_backend=args.partition_backend,
         )
+        serving = None
+        if args.serve_qps is not None:
+            serving = ServingConfig(
+                offered_qps=args.serve_qps,
+                zipf_s=args.zipf_s,
+                memo_ttl_s=args.memo_ttl,
+            )
         system = FederatedSystem(
             trace,
             PrestoConfig(sample_period_s=31.0, refit_interval_s=6 * 3600.0),
             federation=federation,
             seed=args.seed,
+            serving=serving,
         )
         if args.kill_proxy:
             system.schedule_failure(
@@ -209,9 +221,14 @@ def cmd_federation(args: argparse.Namespace) -> int:
     queries = workload.generate(3600.0, trace_config.duration_s)
     report = system.run(queries=queries)
     print(f"shards ({federation.shard_policy}):")
-    for fc in system.cells:
-        tier = "wired" if fc.wired else "wireless"
-        print(f"  {fc.name:8s} [{tier:8s}] sensors {fc.sensor_ids}")
+    if system.uses_partitions:
+        print(f"partitioned kernel: {system.n_partitions} partitions")
+        for name, shard in zip(system.proxy_names, system.shards):
+            print(f"  {name:8s} sensors {list(shard)}")
+    else:
+        for fc in system.cells:
+            tier = "wired" if fc.wired else "wireless"
+            print(f"  {fc.name:8s} [{tier:8s}] sensors {fc.sensor_ids}")
     print(f"replication plan: {system.replication_plan}")
     for key, value in report.summary().items():
         print(f"{key:26s} {value:.4f}")
@@ -247,10 +264,13 @@ def _parse_sweep_axis(text: str) -> SweepAxis:
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Run a scenario campaign over both harnesses and print its report."""
-    specs = builtin_scenarios()
+    builtin = builtin_scenarios()
+    specs = all_scenarios()
     if args.list:
         for name, spec in specs.items():
             extras = []
+            if name not in builtin:
+                extras.append("extended")
             if spec.sweep:
                 grid = " x ".join(
                     f"{axis.parameter}[{len(axis.values)}]"
@@ -259,6 +279,8 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                 extras.append(f"sweep {grid}")
             if spec.faults:
                 extras.append(f"{len(spec.faults)} faults")
+            if spec.serving.enabled:
+                extras.append(f"serving {spec.serving.offered_qps:g} qps")
             suffix = f"  [{', '.join(extras)}]" if extras else ""
             print(f"{name:20s} {spec.description}{suffix}")
         return 0
@@ -269,7 +291,9 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             return 2
         chosen = [specs[name] for name in args.scenario]
     else:
-        chosen = list(specs.values())
+        # The default campaign is the pinned built-in set; extended
+        # scenarios run only when named explicitly.
+        chosen = list(builtin.values())
     if args.sweep:
         # A CLI-composed grid replaces each chosen scenario's own sweep:
         # the cross product of every --sweep flag, in flag order.
@@ -439,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="NAME",
                 help="mark this proxy dead at half the run (e.g. proxy2)",
+            )
+            sub.add_argument(
+                "--partitions",
+                type=int,
+                default=None,
+                metavar="K",
+                help="partitioned kernel: K per-cell partitions "
+                "(0 = one per CPU core; default: shared kernel)",
+            )
+            sub.add_argument(
+                "--partition-backend",
+                default="auto",
+                choices=PARTITION_BACKENDS,
+                help="how partitions execute (auto = process pool when >1)",
+            )
+            sub.add_argument(
+                "--serve-qps",
+                type=float,
+                default=None,
+                metavar="QPS",
+                help="enable the query-serving front-end at this offered load",
+            )
+            sub.add_argument(
+                "--zipf-s",
+                type=float,
+                default=0.9,
+                help="serving traffic's Zipf popularity exponent",
+            )
+            sub.add_argument(
+                "--memo-ttl",
+                type=float,
+                default=30.0,
+                metavar="S",
+                help="serving front-end answer-memo TTL in seconds",
             )
         sub.set_defaults(handler=handler)
     return parser

@@ -70,6 +70,9 @@ class PrestoConfig:
 #: recognised sensor-to-proxy sharding policies
 SHARD_POLICIES = ("contiguous", "round_robin", "balanced")
 
+#: recognised partition execution backends
+PARTITION_BACKENDS = ("auto", "inline", "process")
+
 
 @dataclass(frozen=True)
 class FederationConfig:
@@ -100,6 +103,17 @@ class FederationConfig:
     replica_sync_interval_s: float = 3_600.0
     hot_entries_per_sensor: int = 64     # cache tail replicated per sensor
 
+    # Partitioned execution: ``None`` keeps every cell on one shared kernel
+    # (the original harness); ``k >= 1`` splits the cells across ``k``
+    # independent simulation partitions that exchange cross-cell state only
+    # at barrier instants; ``0`` means one partition per CPU core (capped at
+    # ``n_proxies``).  ``partition_backend`` picks how partitions execute:
+    # ``inline`` (in-process, lockstep windows), ``process``
+    # (``ProcessPoolExecutor``, one whole-horizon task per partition), or
+    # ``auto`` (process when more than one partition resolves, else inline).
+    partitions: int | None = None
+    partition_backend: str = "auto"
+
     def __post_init__(self) -> None:
         if self.n_proxies < 1:
             raise ValueError(f"need >= 1 proxy, got {self.n_proxies}")
@@ -120,8 +134,31 @@ class FederationConfig:
             raise ValueError("replica sync interval must be positive")
         if self.hot_entries_per_sensor < 1:
             raise ValueError("must replicate at least one entry per sensor")
+        if self.partitions is not None and self.partitions < 0:
+            raise ValueError(
+                f"partitions must be None, 0 (per-core) or >= 1, got {self.partitions}"
+            )
+        if self.partition_backend not in PARTITION_BACKENDS:
+            raise ValueError(
+                f"unknown partition backend {self.partition_backend!r}; "
+                f"expected one of {PARTITION_BACKENDS}"
+            )
 
     @property
     def n_wired(self) -> int:
         """How many proxies get wired backhaul (always at least one)."""
         return max(1, int(round(self.wired_fraction * self.n_proxies)))
+
+    def resolve_partitions(self) -> int | None:
+        """Concrete partition count: ``None`` (legacy shared kernel) or >= 1.
+
+        ``partitions=0`` resolves to one partition per CPU core, capped at
+        ``n_proxies`` so no partition is ever empty.
+        """
+        if self.partitions is None:
+            return None
+        if self.partitions == 0:
+            import os
+
+            return max(1, min(os.cpu_count() or 1, self.n_proxies))
+        return min(self.partitions, self.n_proxies)

@@ -10,8 +10,12 @@ as one harness:
 * :func:`partition_sensors` shards a deployment trace across N proxies
   (contiguous/spatial blocks, round-robin, or variance-balanced);
 * every cell is stamped out by :class:`~repro.core.system.CellBuilder` and
-  runs on **one shared simulator**, so the whole cluster shares a virtual
-  timeline;
+  runs either on **one shared simulator** (``FederationConfig.partitions is
+  None``, the original harness) or split across **independent simulation
+  partitions** (``partitions >= 1``, or ``0`` for one per core) that
+  exchange cross-cell state — replica snapshots, directory liveness,
+  routed queries — only at barrier instants, in-process (lockstep windows)
+  or across a ``ProcessPoolExecutor``;
 * query routing resolves the owning proxy through a skip graph over
   contiguous ownership runs (O(log P) hops, counted and charged as routing
   latency) and consults the :class:`~repro.index.directory.CacheDirectory`
@@ -26,6 +30,8 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,7 +43,10 @@ from repro.core.queries import AnswerSource, QueryAnswer
 from repro.core.system import CellBuilder, PrestoCell, SystemReport, ground_truth
 from repro.index.directory import CacheDirectory
 from repro.index.skipgraph import SkipGraph
-from repro.simulation.kernel import Simulator
+from repro.radio.link import LinkConfig
+from repro.serving.config import ServingConfig, ServingReport
+from repro.serving.frontend import BackendSegments, ServingFrontend
+from repro.simulation.kernel import LockstepGroup, Simulator, barrier_schedule
 from repro.simulation.process import PeriodicTask
 from repro.simulation.randomness import RandomStreams
 from repro.sync.clock import ClockModel
@@ -88,6 +97,36 @@ def partition_sensors(
     if any(not shard for shard in shards):
         raise ValueError(f"policy {policy!r} produced an empty shard")
     return shards
+
+
+def partition_cells(n_cells: int, k: int) -> list[list[int]]:
+    """Assign cell ids to *k* simulation partitions (contiguous blocks).
+
+    Contiguous blocks keep each partition's ownership runs contiguous too,
+    so pre-routing a query to its owner's partition is a single floor
+    lookup.  ``k`` must not exceed ``n_cells`` (no partition may be empty).
+    """
+    if not 1 <= k <= n_cells:
+        raise ValueError(f"need 1 <= partitions <= {n_cells} cells, got {k}")
+    return [
+        [int(cell) for cell in block]
+        for block in np.array_split(np.arange(n_cells), k)
+    ]
+
+
+@dataclass(frozen=True)
+class _CellMeta:
+    """Static identity of one cell — everything routing needs besides state.
+
+    Shipped to every partition so each holds the *full* membership map
+    (directory registrations, skip-graph keys) while building only its own
+    cells.
+    """
+
+    cell_id: int
+    name: str
+    wired: bool
+    response_latency_s: float
 
 
 @dataclass
@@ -178,6 +217,8 @@ class FederatedReport(SystemReport):
     failover_mean_error: float = float("nan")   # |answer - truth| over failovers
     failover_max_error: float = float("nan")
     cell_reports: list[SystemReport] = field(default_factory=list)
+    n_partitions: int = 1          # simulation partitions the run executed on
+    serving: ServingReport | None = None        # front-end tier, when enabled
 
     @property
     def mean_routing_hops(self) -> float:
@@ -217,181 +258,27 @@ class FederatedReport(SystemReport):
                 "unroutable": float(self.unroutable),
                 "max_replica_staleness_s": self.max_replica_staleness_s,
                 "failover_mean_error": self.failover_mean_error,
+                "n_partitions": float(self.n_partitions),
             }
         )
+        if self.serving is not None:
+            base.update(self.serving.summary())
         return base
 
 
-class FederatedSystem:
-    """A cluster of PRESTO cells behind one directory-routed query front.
+class _RoutingCore:
+    """Directory-routed query answering shared by the coordinator and partitions.
 
-    With ``n_proxies=1`` this degenerates to exactly the single-cell
-    :class:`~repro.core.system.PrestoSystem` (same seed, same trace — same
-    energy, latency and answers), which is the correctness anchor for
-    everything the federation adds.
-
-    Proxy death is modelled at the routing layer: a dead proxy's cell keeps
-    simulating (its in-simulation state is what the proxy *would* hold, and
-    is what a recovered proxy resumes with), but queries can no longer reach
-    it — they fail over to the lowest-latency wired proxy holding a replica,
-    which answers **only** from the state replicated before the failure.
+    Both :class:`FederatedSystem` (legacy shared-kernel mode) and
+    :class:`_CellPartition` (one partition of a partitioned run) expose the
+    same member names — ``federation``, ``config``, ``trace``, ``sim``,
+    ``directory``, ``_owners``, ``_by_name``, ``_replicas``,
+    ``replication_plan``, the routing counters and ``_query_log`` — so one
+    implementation of routing, failover answering and replica syncing
+    serves both.  In a partition, ``_by_name`` holds only the locally-built
+    cells and every query is pre-routed to its owner's partition, so the
+    owner (or its replicas' metadata) is always resolvable locally.
     """
-
-    def __init__(
-        self,
-        trace: TraceSet,
-        config: PrestoConfig | None = None,
-        federation: FederationConfig | None = None,
-        seed: int = 0,
-        model_clocks: bool = False,
-        clock_model: ClockModel | None = None,
-    ) -> None:
-        self.trace = trace
-        self.federation = federation or FederationConfig()
-        fed = self.federation
-        self.shards = partition_sensors(trace, fed.n_proxies, fed.shard_policy)
-        self.sim = Simulator()
-        self.streams = RandomStreams(seed=seed)
-        builder = CellBuilder(
-            config=config, model_clocks=model_clocks, clock_model=clock_model
-        )
-        self.config = builder.resolve_config(trace)
-        builder.config = self.config
-        self.cells: list[FederatedCell] = []
-        for cell_id, ids in enumerate(self.shards):
-            cell = builder.build(
-                trace.subset(ids),
-                self.sim,
-                RandomStreams(seed=seed + cell_id),
-                proxy_name=f"proxy{cell_id}",
-            )
-            wired = cell_id < fed.n_wired
-            self.cells.append(
-                FederatedCell(
-                    cell_id=cell_id,
-                    cell=cell,
-                    sensor_ids=list(ids),
-                    wired=wired,
-                    response_latency_s=(
-                        fed.wired_latency_s if wired else fed.wireless_latency_s
-                    ),
-                )
-            )
-        self._by_name = {fc.name: fc for fc in self.cells}
-
-        # Cluster-wide cache placement and replication planning.
-        self.directory = CacheDirectory(replication_factor=fed.replication_factor)
-        for fc in self.cells:
-            self.directory.register_proxy(
-                fc.name, wired=fc.wired, response_latency_s=fc.response_latency_s
-            )
-            self.directory.publish_cache(fc.name, set(fc.sensor_ids))
-        self.replication_plan = self.directory.plan_replication()
-        self._replicas: dict[tuple[str, str], ProxyReplica] = {
-            (host, owner): ProxyReplica(owner=owner, host=host)
-            for owner, hosts in self.replication_plan.items()
-            for host in hosts
-        }
-
-        # Ownership lookup: one skip-graph node per contiguous run of sensors
-        # owned by the same proxy, so "who owns sensor s" is a floor search —
-        # O(log P) for contiguous shards, never a dict scan.
-        owner_of = {
-            sensor: fc.name for fc in self.cells for sensor in fc.sensor_ids
-        }
-        self._owners = SkipGraph(rng=self.streams.get("federation.skipgraph"))
-        for sensor in range(trace.n_sensors):
-            if sensor == 0 or owner_of[sensor] != owner_of[sensor - 1]:
-                self._owners.insert(float(sensor), owner_of[sensor])
-
-        self.cross_proxy_hops = 0
-        self.replica_hits = 0
-        self.failovers = 0
-        self.unroutable = 0
-        self.replica_syncs = 0
-        self.failover_events: list[FailoverEvent] = []
-        self._query_log: list[tuple[Query, QueryAnswer]] = []
-        self._failover_positions: list[int] = []
-        self._failures: list[tuple[float, str]] = []
-        self._recoveries: list[tuple[float, str]] = []
-
-    # -- membership & failure injection -------------------------------------------
-
-    @property
-    def proxy_names(self) -> list[str]:
-        """All proxy names, cell order (wired first)."""
-        return [fc.name for fc in self.cells]
-
-    def cell_for(self, proxy_name: str) -> FederatedCell:
-        """Lookup a federated cell by proxy name."""
-        return self._by_name[proxy_name]
-
-    def owner_of(self, sensor: int) -> str:
-        """Resolve the owning proxy of a global sensor id (skip-graph route)."""
-        name, _ = self._owners.floor_value(float(sensor))
-        return name
-
-    def fail_proxy(self, proxy_name: str) -> None:
-        """Take a proxy offline right now (queries start failing over).
-
-        Records a :class:`FailoverEvent` with the replica staleness at the
-        instant of death — how far back the newest replicated entry sits,
-        the extrapolation horizon cascading-failure scenarios chart
-        against the sync interval (see :class:`FailoverEvent` for what the
-        age does and does not include).
-        """
-        name = self._by_name[proxy_name].name
-        self.failover_events.append(
-            FailoverEvent(
-                proxy=name,
-                at_s=self.sim.now,
-                replica_staleness_s=self.replica_staleness_s(name),
-            )
-        )
-        self.directory.mark_down(name)
-
-    def replica_staleness_s(self, proxy_name: str) -> float:
-        """Age of the newest entry live hosts hold for *proxy_name* now.
-
-        ``inf`` when no live host holds any replicated entry for the proxy
-        — replication was unplanned, never synced, or every host is dead.
-        The age is bounded by ``replica_sync_interval_s`` (plus the cache
-        tail's own lag) while syncs keep completing, which is what the
-        ``staleness_vs_sync`` scenario sweep charts against replication
-        cost.
-        """
-        self._validate_proxy(proxy_name)
-        newest = float("-inf")
-        for host in self.replication_plan.get(proxy_name, []):
-            if not self.directory.proxy(host).alive:
-                continue
-            replica = self._replicas[(host, proxy_name)]
-            for state in replica.sensors.values():
-                if state.entries:
-                    newest = max(newest, state.entries[-1].timestamp)
-        if newest == float("-inf"):
-            return float("inf")
-        return max(self.sim.now - newest, 0.0)
-
-    def recover_proxy(self, proxy_name: str) -> None:
-        """Bring a proxy back online."""
-        self.directory.mark_up(self._by_name[proxy_name].name)
-
-    def _validate_proxy(self, proxy_name: str) -> None:
-        if proxy_name not in self._by_name:
-            raise ValueError(
-                f"unknown proxy {proxy_name!r}; have {self.proxy_names}"
-            )
-
-    def schedule_failure(self, proxy_name: str, at_s: float) -> None:
-        """Kill *proxy_name* at virtual time *at_s* during :meth:`run`."""
-        self._validate_proxy(proxy_name)
-        self._failures.append((float(at_s), proxy_name))
-
-    def schedule_recovery(self, proxy_name: str, at_s: float) -> None:
-        """Recover *proxy_name* at virtual time *at_s* during :meth:`run`."""
-        self._validate_proxy(proxy_name)
-        self._recoveries.append((float(at_s), proxy_name))
 
     # -- replication ----------------------------------------------------------------
 
@@ -429,9 +316,21 @@ class FederatedSystem:
                 replica.syncs += 1
                 self.replica_syncs += 1
 
-    def replica_for(self, host: str, owner: str) -> ProxyReplica:
-        """The replica of *owner* held at *host* (KeyError if not planned)."""
-        return self._replicas[(host, owner)]
+    def _replica_staleness(self, proxy_name: str) -> float:
+        """Age of the newest entry live hosts hold for *proxy_name* now."""
+        newest = float("-inf")
+        for host in self.replication_plan.get(proxy_name, []):
+            if not self.directory.proxy(host).alive:
+                continue
+            replica = self._replicas.get((host, proxy_name))
+            if replica is None:
+                continue
+            for state in replica.sensors.values():
+                if state.entries:
+                    newest = max(newest, state.entries[-1].timestamp)
+        if newest == float("-inf"):
+            return float("inf")
+        return max(self.sim.now - newest, 0.0)
 
     # -- query routing ----------------------------------------------------------------
 
@@ -563,6 +462,258 @@ class FederatedSystem:
         source = AnswerSource.CACHE if all_actual else AnswerSource.PREDICTION
         return value, worst_std, source
 
+
+class FederatedSystem(_RoutingCore):
+    """A cluster of PRESTO cells behind one directory-routed query front.
+
+    With ``n_proxies=1`` this degenerates to exactly the single-cell
+    :class:`~repro.core.system.PrestoSystem` (same seed, same trace — same
+    energy, latency and answers), which is the correctness anchor for
+    everything the federation adds.
+
+    Proxy death is modelled at the routing layer: a dead proxy's cell keeps
+    simulating (its in-simulation state is what the proxy *would* hold, and
+    is what a recovered proxy resumes with), but queries can no longer reach
+    it — they fail over to the lowest-latency wired proxy holding a replica,
+    which answers **only** from the state replicated before the failure.
+    """
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        config: PrestoConfig | None = None,
+        federation: FederationConfig | None = None,
+        seed: int = 0,
+        model_clocks: bool = False,
+        clock_model: ClockModel | None = None,
+        serving: ServingConfig | None = None,
+    ) -> None:
+        self.trace = trace
+        self.federation = federation or FederationConfig()
+        fed = self.federation
+        self.shards = partition_sensors(trace, fed.n_proxies, fed.shard_policy)
+        self.seed = int(seed)
+        self.model_clocks = model_clocks
+        self.clock_model = clock_model
+        self.serving = serving
+        self._partitions = fed.resolve_partitions()
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=seed)
+        builder = CellBuilder(
+            config=config, model_clocks=model_clocks, clock_model=clock_model
+        )
+        self.config = builder.resolve_config(trace)
+        builder.config = self.config
+        self._cell_meta = [
+            _CellMeta(
+                cell_id=cell_id,
+                name=f"proxy{cell_id}",
+                wired=cell_id < fed.n_wired,
+                response_latency_s=(
+                    fed.wired_latency_s
+                    if cell_id < fed.n_wired
+                    else fed.wireless_latency_s
+                ),
+            )
+            for cell_id in range(fed.n_proxies)
+        ]
+        self.cells: list[FederatedCell] = []
+        if self._partitions is None:
+            # Legacy shared-kernel mode: every cell lives on self.sim.  In
+            # partitioned mode cells are built inside their partitions at
+            # run() time instead (same builder inputs, so identical cells).
+            for cell_id, ids in enumerate(self.shards):
+                cell = builder.build(
+                    trace.subset(ids),
+                    self.sim,
+                    RandomStreams(seed=seed + cell_id),
+                    proxy_name=f"proxy{cell_id}",
+                )
+                meta = self._cell_meta[cell_id]
+                self.cells.append(
+                    FederatedCell(
+                        cell_id=cell_id,
+                        cell=cell,
+                        sensor_ids=list(ids),
+                        wired=meta.wired,
+                        response_latency_s=meta.response_latency_s,
+                    )
+                )
+        self._by_name = {fc.name: fc for fc in self.cells}
+
+        # Cluster-wide cache placement and replication planning.
+        self.directory = CacheDirectory(replication_factor=fed.replication_factor)
+        for meta in self._cell_meta:
+            self.directory.register_proxy(
+                meta.name, wired=meta.wired, response_latency_s=meta.response_latency_s
+            )
+            self.directory.publish_cache(meta.name, set(self.shards[meta.cell_id]))
+        self.replication_plan = self.directory.plan_replication()
+        self._replicas: dict[tuple[str, str], ProxyReplica] = (
+            {
+                (host, owner): ProxyReplica(owner=owner, host=host)
+                for owner, hosts in self.replication_plan.items()
+                for host in hosts
+            }
+            if self._partitions is None
+            else {}
+        )
+
+        # Ownership lookup: one skip-graph node per contiguous run of sensors
+        # owned by the same proxy, so "who owns sensor s" is a floor search —
+        # O(log P) for contiguous shards, never a dict scan.  The flat map is
+        # kept for hop-free pre-routing of queries to partitions.
+        self._owner_map = {
+            sensor: self._cell_meta[cell_id].name
+            for cell_id, ids in enumerate(self.shards)
+            for sensor in ids
+        }
+        self._owners = SkipGraph(rng=self.streams.get("federation.skipgraph"))
+        for sensor in range(trace.n_sensors):
+            if sensor == 0 or self._owner_map[sensor] != self._owner_map[sensor - 1]:
+                self._owners.insert(float(sensor), self._owner_map[sensor])
+
+        self.cross_proxy_hops = 0
+        self.replica_hits = 0
+        self.failovers = 0
+        self.unroutable = 0
+        self.replica_syncs = 0
+        self.failover_events: list[FailoverEvent] = []
+        self._query_log: list[tuple[Query, QueryAnswer]] = []
+        self._failover_positions: list[int] = []
+        self._failures: list[tuple[float, str]] = []
+        self._recoveries: list[tuple[float, str]] = []
+        self._link_events: list[tuple[float, LinkConfig, tuple[int, ...] | None]] = []
+        self._initial_down: tuple[str, ...] = ()
+
+    # -- membership & failure injection -------------------------------------------
+
+    @property
+    def proxy_names(self) -> list[str]:
+        """All proxy names, cell order (wired first)."""
+        return [meta.name for meta in self._cell_meta]
+
+    @property
+    def uses_partitions(self) -> bool:
+        """True when this run executes on independent simulation partitions."""
+        return self._partitions is not None
+
+    @property
+    def n_partitions(self) -> int:
+        """Resolved partition count (1 in legacy shared-kernel mode)."""
+        return self._partitions if self._partitions is not None else 1
+
+    def cell_for(self, proxy_name: str) -> FederatedCell:
+        """Lookup a federated cell by proxy name (legacy mode only —
+        partitioned runs build their cells inside the partitions)."""
+        return self._by_name[proxy_name]
+
+    def owner_of(self, sensor: int) -> str:
+        """Resolve the owning proxy of a global sensor id (skip-graph route)."""
+        name, _ = self._owners.floor_value(float(sensor))
+        return name
+
+    def fail_proxy(self, proxy_name: str) -> None:
+        """Take a proxy offline right now (queries start failing over).
+
+        Records a :class:`FailoverEvent` with the replica staleness at the
+        instant of death — how far back the newest replicated entry sits,
+        the extrapolation horizon cascading-failure scenarios chart
+        against the sync interval (see :class:`FailoverEvent` for what the
+        age does and does not include).
+        """
+        self._validate_proxy(proxy_name)
+        self.failover_events.append(
+            FailoverEvent(
+                proxy=proxy_name,
+                at_s=self.sim.now,
+                replica_staleness_s=self.replica_staleness_s(proxy_name),
+            )
+        )
+        self.directory.mark_down(proxy_name)
+
+    def replica_staleness_s(self, proxy_name: str) -> float:
+        """Age of the newest entry live hosts hold for *proxy_name* now.
+
+        ``inf`` when no live host holds any replicated entry for the proxy
+        — replication was unplanned, never synced, or every host is dead.
+        The age is bounded by ``replica_sync_interval_s`` (plus the cache
+        tail's own lag) while syncs keep completing, which is what the
+        ``staleness_vs_sync`` scenario sweep charts against replication
+        cost.
+        """
+        self._validate_proxy(proxy_name)
+        return self._replica_staleness(proxy_name)
+
+    def recover_proxy(self, proxy_name: str) -> None:
+        """Bring a proxy back online."""
+        self._validate_proxy(proxy_name)
+        self.directory.mark_up(proxy_name)
+
+    def _validate_proxy(self, proxy_name: str) -> None:
+        if not any(meta.name == proxy_name for meta in self._cell_meta):
+            raise ValueError(
+                f"unknown proxy {proxy_name!r}; have {self.proxy_names}"
+            )
+
+    def schedule_failure(self, proxy_name: str, at_s: float) -> None:
+        """Kill *proxy_name* at virtual time *at_s* during :meth:`run`."""
+        self._validate_proxy(proxy_name)
+        self._failures.append((float(at_s), proxy_name))
+
+    def schedule_recovery(self, proxy_name: str, at_s: float) -> None:
+        """Recover *proxy_name* at virtual time *at_s* during :meth:`run`."""
+        self._validate_proxy(proxy_name)
+        self._recoveries.append((float(at_s), proxy_name))
+
+    def schedule_link_change(
+        self,
+        at_s: float,
+        link_config: LinkConfig,
+        cell_indices: tuple[int, ...] | list[int] | None = None,
+    ) -> None:
+        """Swap the radio link config of the targeted cells at *at_s*.
+
+        The partition-safe way to stage loss bursts: in legacy mode this
+        schedules directly on the shared kernel; in partitioned mode the
+        change is recorded and each partition replays it on its own kernel
+        (before any cell task is armed, so equal-time ordering matches a
+        pre-run schedule on the shared kernel).  ``cell_indices=None``
+        targets every cell.
+        """
+        cells = tuple(int(c) for c in cell_indices) if cell_indices is not None else None
+        if cells is not None:
+            for cell_id in cells:
+                if not 0 <= cell_id < self.federation.n_proxies:
+                    raise ValueError(f"cell index {cell_id} out of range")
+        if self._partitions is None:
+            targets = [
+                fc.cell.network
+                for fc in self.cells
+                if cells is None or fc.cell_id in cells
+            ]
+            self.sim.schedule(
+                float(at_s),
+                lambda nets=targets, cfg=link_config: [
+                    net.set_link_config_all(cfg) for net in nets
+                ],
+            )
+        else:
+            self._link_events.append((float(at_s), link_config, cells))
+
+    # -- replication ----------------------------------------------------------------
+
+    def replica_for(self, host: str, owner: str) -> ProxyReplica:
+        """The replica of *owner* held at *host* (KeyError if not planned).
+
+        In partitioned mode replicas are owner-local to their partitions;
+        the inline backend absorbs them into this coordinator view at every
+        barrier, while the process backend does not ship them back at all
+        (answer content is unaffected — failovers are served inside the
+        owner's partition).
+        """
+        return self._replicas[(host, owner)]
+
     # -- main entry ---------------------------------------------------------------------
 
     def run(
@@ -570,11 +721,26 @@ class FederatedSystem:
         queries: list[Query] | None = None,
         duration_s: float | None = None,
     ) -> FederatedReport:
-        """Replay the trace across all cells, routing *queries* globally."""
+        """Replay the trace across all cells, routing *queries* globally.
+
+        With ``FederationConfig.partitions`` set, cells execute on
+        independent per-partition kernels (queries pre-routed to their
+        owner's partition, faults replayed on every partition's directory
+        copy, replica syncs owner-local) and the per-partition logs are
+        merged back into the exact report a shared-kernel run produces.
+        """
         queries = queries or []
         horizon = (
             duration_s if duration_s is not None else self.trace.config.duration_s
         )
+        self._initial_down = tuple(
+            meta.name
+            for meta in self._cell_meta
+            if not self.directory.proxy(meta.name).alive
+        )
+        if self._partitions is not None:
+            report = self._run_partitioned(queries, float(horizon))
+            return self._attach_serving(report, float(horizon))
         for fc in self.cells:
             fc.cell.start_tasks()
         sync_task = None
@@ -604,7 +770,7 @@ class FederatedSystem:
             sync_task.stop()
         for fc in self.cells:
             fc.cell.finalise(horizon)
-        return self._report(horizon)
+        return self._attach_serving(self._report(horizon), float(horizon))
 
     def _failover_errors(
         self, truths: list[float | None]
@@ -629,6 +795,23 @@ class FederatedSystem:
 
     def _report(self, horizon: float) -> FederatedReport:
         cell_reports = [fc.cell.report(horizon) for fc in self.cells]
+        packets = [
+            (fc.cell.network.packets_sent, fc.cell.network.packets_delivered)
+            for fc in self.cells
+        ]
+        return self._compose_report(horizon, cell_reports, packets)
+
+    def _compose_report(
+        self,
+        horizon: float,
+        cell_reports: list[SystemReport],
+        packets: list[tuple[int, int]],
+    ) -> FederatedReport:
+        """Aggregate per-cell reports plus the routing log into one report.
+
+        ``cell_reports`` and ``packets`` are in cell order — produced
+        directly in legacy mode, merged from partition results otherwise.
+        """
         answers = [answer for _, answer in self._query_log]
         truths = [ground_truth(self.trace, query) for query, _ in self._query_log]
         failover_mean_error, failover_max_error = self._failover_errors(truths)
@@ -637,13 +820,11 @@ class FederatedSystem:
             for category, joules in report.sensor_energy_by_category.items():
                 by_category[category] = by_category.get(category, 0.0) + joules
         per_sensor = [0.0] * self.trace.n_sensors
-        for fc, report in zip(self.cells, cell_reports):
-            for local, global_id in enumerate(fc.sensor_ids):
+        for ids, report in zip(self.shards, cell_reports):
+            for local, global_id in enumerate(ids):
                 per_sensor[global_id] = report.per_sensor_energy_j[local]
-        packets_sent = sum(fc.cell.network.packets_sent for fc in self.cells)
-        packets_delivered = sum(
-            fc.cell.network.packets_delivered for fc in self.cells
-        )
+        packets_sent = sum(sent for sent, _ in packets)
+        packets_delivered = sum(delivered for _, delivered in packets)
         return FederatedReport(
             duration_s=horizon,
             n_sensors=self.trace.n_sensors,
@@ -687,4 +868,541 @@ class FederatedSystem:
             failover_mean_error=failover_mean_error,
             failover_max_error=failover_max_error,
             cell_reports=cell_reports,
+            n_partitions=self.n_partitions,
         )
+
+    # -- partitioned execution ------------------------------------------------------
+
+    def _run_partitioned(self, queries: list[Query], horizon: float) -> FederatedReport:
+        """Execute the run across independent per-partition kernels.
+
+        Every query is pre-routed (hop-free flat map) to the partition that
+        owns its sensor; the partition re-resolves ownership on its own
+        skip-graph copy — built from the same seeded stream, so structure
+        and hop counts match the shared-kernel run exactly.  Fault events
+        are replayed on every partition's directory copy at identical
+        virtual times, keeping liveness in lockstep without mid-run
+        communication.  The merged log is ordered by each query's global
+        firing rank, which reproduces the shared kernel's (time, seq)
+        order.
+        """
+        k = self._partitions
+        assert k is not None
+        fed = self.federation
+        failures = [(at, name) for at, name in self._failures if at < horizon]
+        recoveries = [(at, name) for at, name in self._recoveries if at < horizon]
+        assign = partition_cells(fed.n_proxies, k)
+        part_of_cell = {
+            cell_id: p for p, ids in enumerate(assign) for cell_id in ids
+        }
+        name_to_cell = {meta.name: meta.cell_id for meta in self._cell_meta}
+        routed: dict[int, list[tuple[int, Query]]] = {p: [] for p in range(k)}
+        oob: list[tuple[int, Query, QueryAnswer]] = []
+        order = sorted(
+            range(len(queries)), key=lambda i: queries[i].arrival_time
+        )
+        position = 0
+        for i in order:
+            query = queries[i]
+            if query.arrival_time >= horizon:
+                continue
+            if not 0 <= query.sensor < self.trace.n_sensors:
+                # Unroutable before it ever reaches a partition — same
+                # answer route_query produces, logged at its firing rank.
+                answer = QueryAnswer(
+                    query=query,
+                    value=None,
+                    source=AnswerSource.FAILED,
+                    latency_s=0.0,
+                )
+                oob.append((position, query, answer))
+            else:
+                owner = self._owner_map[query.sensor]
+                routed[part_of_cell[name_to_cell[owner]]].append((position, query))
+            position += 1
+        context = _PartitionContext(
+            trace=self.trace,
+            config=self.config,
+            federation=fed,
+            seed=self.seed,
+            model_clocks=self.model_clocks,
+            clock_model=self.clock_model,
+            shards=[list(ids) for ids in self.shards],
+            cell_meta=list(self._cell_meta),
+            horizon=horizon,
+            failures=failures,
+            recoveries=recoveries,
+            initial_down=self._initial_down,
+            link_events=list(self._link_events),
+        )
+        prerun_events = list(self.failover_events)
+        backend = fed.partition_backend
+        results: list[_PartitionResult] | None = None
+        if k > 1 and backend in ("auto", "process"):
+            results = self._run_process(context, assign, routed)
+        if results is None:
+            results = self._run_inline(context, assign, routed)
+        return self._merge_partitions(context, results, oob, prerun_events)
+
+    def _run_inline(
+        self,
+        context: _PartitionContext,
+        assign: list[list[int]],
+        routed: dict[int, list[tuple[int, Query]]],
+    ) -> list[_PartitionResult]:
+        """In-process backend: every partition kernel advances in lockstep.
+
+        Barrier points are the replica-sync cadence plus every fault
+        instant; at each barrier the coordinator absorbs the partitions'
+        replica stores into its own view — the explicit cross-partition
+        message exchange.
+        """
+        parts = [
+            _CellPartition(context, cell_ids, routed[p])
+            for p, cell_ids in enumerate(assign)
+        ]
+        for part in parts:
+            part.setup()
+        instants = [at for at, _ in context.failures]
+        instants += [at for at, _ in context.recoveries]
+        interval = (
+            context.federation.replica_sync_interval_s
+            if any(part._replicas for part in parts)
+            else None
+        )
+        barriers = barrier_schedule(
+            context.horizon, interval=interval, instants=instants
+        )
+        group = LockstepGroup([part.sim for part in parts])
+
+        def absorb(_barrier: float) -> None:
+            for part in parts:
+                self._replicas.update(part._replicas)
+
+        group.run(barriers, on_barrier=absorb)
+        return [part.finish() for part in parts]
+
+    def _run_process(
+        self,
+        context: _PartitionContext,
+        assign: list[list[int]],
+        routed: dict[int, list[tuple[int, Query]]],
+    ) -> list[_PartitionResult] | None:
+        """Process-pool backend: one whole-horizon task per partition.
+
+        The shared context (trace included) ships once per worker via the
+        pool initializer; each task carries only its cell ids and
+        pre-routed queries.  Returns ``None`` on any pool failure so the
+        caller falls back to the inline backend — results are identical,
+        only wall-clock differs.
+        """
+        k = len(assign)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(k, os.cpu_count() or 1),
+                initializer=_partition_pool_init,
+                initargs=(context,),
+            ) as pool:
+                futures = {
+                    pool.submit(_partition_pool_run, (cell_ids, routed[p])): p
+                    for p, cell_ids in enumerate(assign)
+                }
+                results: list[_PartitionResult | None] = [None] * k
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            assert all(result is not None for result in results)
+            return results  # type: ignore[return-value]
+        except Exception:
+            return None
+
+    def _merge_partitions(
+        self,
+        context: _PartitionContext,
+        results: list[_PartitionResult],
+        oob: list[tuple[int, Query, QueryAnswer]],
+        prerun_events: list[FailoverEvent],
+    ) -> FederatedReport:
+        """Fold partition results back into coordinator state and report."""
+        entries: list[tuple[int, Query, QueryAnswer, bool]] = [
+            (pos, query, answer, False) for pos, query, answer in oob
+        ]
+        for result in results:
+            entries.extend(result.log)
+        entries.sort(key=lambda entry: entry[0])
+        self._query_log = [(query, answer) for _, query, answer, _ in entries]
+        self._failover_positions = [
+            i for i, (_, _, _, is_failover) in enumerate(entries) if is_failover
+        ]
+        self.cross_proxy_hops += sum(r.cross_proxy_hops for r in results)
+        self.replica_hits += sum(r.replica_hits for r in results)
+        self.failovers += sum(r.failovers for r in results)
+        self.unroutable += sum(r.unroutable for r in results) + len(oob)
+        self.replica_syncs += sum(r.replica_syncs for r in results)
+        fault_events = sorted(
+            (index, event) for result in results for index, event in result.fault_events
+        )
+        self.failover_events = prerun_events + [event for _, event in fault_events]
+        by_cell: dict[int, SystemReport] = {}
+        packets_by_cell: dict[int, tuple[int, int]] = {}
+        for result in results:
+            for cell_id, report in result.cell_reports:
+                by_cell[cell_id] = report
+            for cell_id, sent, delivered in result.packets:
+                packets_by_cell[cell_id] = (sent, delivered)
+        cell_ids = sorted(by_cell)
+        cell_reports = [by_cell[cell_id] for cell_id in cell_ids]
+        packets = [packets_by_cell[cell_id] for cell_id in cell_ids]
+        return self._compose_report(context.horizon, cell_reports, packets)
+
+    # -- serving front-end ----------------------------------------------------------
+
+    def _attach_serving(
+        self, report: FederatedReport, horizon: float
+    ) -> FederatedReport:
+        """Run the query-serving front-end model against this run's topology.
+
+        The front-end is an analytic tier layered over the federation's
+        *static* routing facts (ownership, hop counts, response latencies,
+        the fault timeline) — it draws its own Zipf-skewed user traffic
+        from a dedicated coordinator stream, so the serving numbers are
+        identical whichever partition backend executed the cells.
+        """
+        if self.serving is None:
+            return report
+        n = self.trace.n_sensors
+        k = self.n_partitions
+        assign = partition_cells(self.federation.n_proxies, k)
+        part_of_cell = {
+            cell_id: p for p, ids in enumerate(assign) for cell_id in ids
+        }
+        name_to_cell = {meta.name: meta.cell_id for meta in self._cell_meta}
+        resp = {meta.name: meta.response_latency_s for meta in self._cell_meta}
+        owner_names = [self._owner_map[sensor] for sensor in range(n)]
+        hops = np.array(
+            [self._owners.search(float(sensor)).hops for sensor in range(n)],
+            dtype=np.int64,
+        )
+        partition_of_sensor = np.array(
+            [part_of_cell[name_to_cell[name]] for name in owner_names],
+            dtype=np.int64,
+        )
+
+        # Piecewise-constant backend cost: one segment per fault-timeline
+        # state.  A miss pays processing + routing hops + the serving
+        # proxy's response latency; with the owner dead it is served by the
+        # lowest-latency live replica host, or not at all.
+        alive = {
+            meta.name: meta.name not in self._initial_down
+            for meta in self._cell_meta
+        }
+        proc = self.config.proxy_processing_s
+        hop_latency = self.federation.hop_latency_s
+
+        def snapshot() -> tuple[np.ndarray, np.ndarray]:
+            latency = np.empty(n, dtype=np.float64)
+            served = np.ones(n, dtype=bool)
+            for sensor in range(n):
+                owner = owner_names[sensor]
+                base = proc + float(hops[sensor]) * hop_latency
+                if alive[owner]:
+                    latency[sensor] = base + (
+                        resp[owner] if hops[sensor] > 0 else 0.0
+                    )
+                    continue
+                hosts = [
+                    host
+                    for host in self.replication_plan.get(owner, [])
+                    if alive[host]
+                ]
+                if hosts:
+                    best = min(hosts, key=lambda host: (resp[host], host))
+                    latency[sensor] = base + resp[best]
+                else:
+                    latency[sensor] = base
+                    served[sensor] = False
+            return latency, served
+
+        changes: list[tuple[float, str, bool]] = [
+            (at, name, False) for at, name in self._failures if at < horizon
+        ]
+        changes += [
+            (at, name, True) for at, name in self._recoveries if at < horizon
+        ]
+        changes.sort(key=lambda change: change[0])  # stable: fails stay first
+        boundaries = [0.0]
+        states = [snapshot()]
+        index = 0
+        while index < len(changes):
+            at = changes[index][0]
+            while index < len(changes) and changes[index][0] == at:
+                _, name, up = changes[index]
+                alive[name] = up
+                index += 1
+            boundaries.append(at)
+            states.append(snapshot())
+        segments = BackendSegments(
+            starts=np.asarray(boundaries, dtype=np.float64),
+            latencies=np.stack([latency for latency, _ in states]),
+            served=np.stack([served for _, served in states]),
+        )
+        frontend = ServingFrontend(
+            config=self.serving,
+            n_sensors=n,
+            n_partitions=k,
+            partition_of_sensor=partition_of_sensor,
+            segments=segments,
+            rng=self.streams.get("serving.traffic"),
+        )
+        report.serving = frontend.run(horizon)
+        return report
+
+
+@dataclass(frozen=True)
+class _PartitionContext:
+    """Everything a partition needs besides its own cell ids and queries.
+
+    Shipped once per pool worker (the trace dominates the payload, exactly
+    like PR 6's campaign pool) and shared read-only by the inline backend.
+    """
+
+    trace: TraceSet
+    config: PrestoConfig
+    federation: FederationConfig
+    seed: int
+    model_clocks: bool
+    clock_model: ClockModel | None
+    shards: list[list[int]]
+    cell_meta: list[_CellMeta]
+    horizon: float
+    failures: list[tuple[float, str]]       # filtered to < horizon, original order
+    recoveries: list[tuple[float, str]]
+    initial_down: tuple[str, ...]
+    link_events: list[tuple[float, LinkConfig, tuple[int, ...] | None]]
+
+
+@dataclass
+class _PartitionResult:
+    """What one partition reports back for merging (picklable)."""
+
+    log: list[tuple[int, Query, QueryAnswer, bool]]   # (global rank, q, a, failover?)
+    fault_events: list[tuple[int, FailoverEvent]]     # keyed by failure index
+    cross_proxy_hops: int
+    replica_hits: int
+    failovers: int
+    unroutable: int
+    replica_syncs: int
+    cell_reports: list[tuple[int, SystemReport]]
+    packets: list[tuple[int, int, int]]               # (cell_id, sent, delivered)
+
+
+class _CellPartition(_RoutingCore):
+    """One simulation partition: a block of cells on a private kernel.
+
+    Holds the *full* federation membership (directory registrations, skip
+    graph, replication plan) so routing and failover resolve locally, but
+    builds and advances only its own cells.  The fault timeline is replayed
+    on the local directory copy at exact virtual times, which keeps
+    liveness in lockstep with every other partition without mid-run
+    communication; the partition owning a dying cell additionally records
+    the :class:`FailoverEvent` (its replicas are local, so the staleness it
+    measures is exact).
+    """
+
+    def __init__(
+        self,
+        context: _PartitionContext,
+        cell_ids: list[int],
+        queries: list[tuple[int, Query]],
+    ) -> None:
+        self.context = context
+        self.trace = context.trace
+        self.federation = context.federation
+        self.config = context.config
+        self.sim = Simulator()
+        builder = CellBuilder(
+            config=context.config,
+            model_clocks=context.model_clocks,
+            clock_model=context.clock_model,
+        )
+        builder.config = context.config
+        self.cells: list[FederatedCell] = []
+        for cell_id in cell_ids:
+            ids = context.shards[cell_id]
+            cell = builder.build(
+                context.trace.subset(ids),
+                self.sim,
+                RandomStreams(seed=context.seed + cell_id),
+                proxy_name=f"proxy{cell_id}",
+            )
+            meta = context.cell_meta[cell_id]
+            self.cells.append(
+                FederatedCell(
+                    cell_id=cell_id,
+                    cell=cell,
+                    sensor_ids=list(ids),
+                    wired=meta.wired,
+                    response_latency_s=meta.response_latency_s,
+                )
+            )
+        self._by_name = {fc.name: fc for fc in self.cells}
+
+        self.directory = CacheDirectory(
+            replication_factor=context.federation.replication_factor
+        )
+        for meta in context.cell_meta:
+            self.directory.register_proxy(
+                meta.name, wired=meta.wired, response_latency_s=meta.response_latency_s
+            )
+            self.directory.publish_cache(
+                meta.name, set(context.shards[meta.cell_id])
+            )
+        full_plan = self.directory.plan_replication()
+        self.replication_plan = {
+            owner: hosts
+            for owner, hosts in full_plan.items()
+            if owner in self._by_name
+        }
+        self._replicas: dict[tuple[str, str], ProxyReplica] = {
+            (host, owner): ProxyReplica(owner=owner, host=host)
+            for owner, hosts in self.replication_plan.items()
+            for host in hosts
+        }
+        for name in context.initial_down:
+            self.directory.mark_down(name)
+
+        owner_of = {
+            sensor: context.cell_meta[cell_id].name
+            for cell_id, ids in enumerate(context.shards)
+            for sensor in ids
+        }
+        self._owners = SkipGraph(
+            rng=RandomStreams(seed=context.seed).get("federation.skipgraph")
+        )
+        for sensor in range(context.trace.n_sensors):
+            if sensor == 0 or owner_of[sensor] != owner_of[sensor - 1]:
+                self._owners.insert(float(sensor), owner_of[sensor])
+
+        self.cross_proxy_hops = 0
+        self.replica_hits = 0
+        self.failovers = 0
+        self.unroutable = 0
+        self.replica_syncs = 0
+        self._query_log: list[tuple[Query, QueryAnswer]] = []
+        self._failover_positions: list[int] = []
+        self._fault_events: list[tuple[int, FailoverEvent]] = []
+        self._queries = queries
+        self._sync_task: PeriodicTask | None = None
+
+    def setup(self) -> None:
+        """Arm the partition's event queue, mirroring the legacy schedule order.
+
+        Link changes first (the shared-kernel harness stages bursts before
+        ``run()``), then cell tasks, then the replica-sync cadence, then
+        the fault timeline, then the partition's pre-routed queries — so
+        equal-time ties fire in the same relative order as on one shared
+        kernel.
+        """
+        context = self.context
+        for at_s, link_config, cell_indices in context.link_events:
+            networks = [
+                fc.cell.network
+                for fc in self.cells
+                if cell_indices is None or fc.cell_id in cell_indices
+            ]
+            if networks:
+                self.sim.schedule(
+                    at_s,
+                    lambda nets=networks, cfg=link_config: [
+                        net.set_link_config_all(cfg) for net in nets
+                    ],
+                )
+        for fc in self.cells:
+            fc.cell.start_tasks()
+        if self._replicas:
+            interval = context.federation.replica_sync_interval_s
+            self._sync_task = PeriodicTask(
+                self.sim, interval, self._sync_replicas, start_offset=interval
+            )
+            self._sync_task.start()
+        for index, (at_s, name) in enumerate(context.failures):
+            self.sim.schedule(
+                at_s, lambda n=name, i=index: self._apply_failure(n, i)
+            )
+        for at_s, name in context.recoveries:
+            self.sim.schedule(at_s, lambda n=name: self.directory.mark_up(n))
+        for _, query in self._queries:
+            self.sim.schedule(
+                query.arrival_time, lambda q=query: self.route_query(q)
+            )
+
+    def _apply_failure(self, name: str, failure_index: int) -> None:
+        """Replay one death: every partition marks the directory; only the
+        dead cell's own partition measures replica staleness (exact — its
+        replicas live here) and records the event for the merged report."""
+        if name in self._by_name:
+            self._fault_events.append(
+                (
+                    failure_index,
+                    FailoverEvent(
+                        proxy=name,
+                        at_s=self.sim.now,
+                        replica_staleness_s=self._replica_staleness(name),
+                    ),
+                )
+            )
+        self.directory.mark_down(name)
+
+    def finish(self) -> _PartitionResult:
+        """Tear down tasks, finalise cells and package the mergeable result."""
+        horizon = self.context.horizon
+        for fc in self.cells:
+            fc.cell.stop_tasks()
+        if self._sync_task is not None:
+            self._sync_task.stop()
+        for fc in self.cells:
+            fc.cell.finalise(horizon)
+        assert len(self._query_log) == len(self._queries)
+        failover_set = set(self._failover_positions)
+        log = [
+            (self._queries[i][0], query, answer, i in failover_set)
+            for i, (query, answer) in enumerate(self._query_log)
+        ]
+        return _PartitionResult(
+            log=log,
+            fault_events=self._fault_events,
+            cross_proxy_hops=self.cross_proxy_hops,
+            replica_hits=self.replica_hits,
+            failovers=self.failovers,
+            unroutable=self.unroutable,
+            replica_syncs=self.replica_syncs,
+            cell_reports=[
+                (fc.cell_id, fc.cell.report(horizon)) for fc in self.cells
+            ],
+            packets=[
+                (
+                    fc.cell_id,
+                    fc.cell.network.packets_sent,
+                    fc.cell.network.packets_delivered,
+                )
+                for fc in self.cells
+            ],
+        )
+
+
+#: per-worker shared context for the process backend (set by the initializer)
+_PARTITION_POOL_STATE: dict[str, _PartitionContext] = {}
+
+
+def _partition_pool_init(context: _PartitionContext) -> None:
+    _PARTITION_POOL_STATE["context"] = context
+
+
+def _partition_pool_run(
+    task: tuple[list[int], list[tuple[int, Query]]],
+) -> _PartitionResult:
+    context = _PARTITION_POOL_STATE["context"]
+    cell_ids, queries = task
+    partition = _CellPartition(context, cell_ids, queries)
+    partition.setup()
+    partition.sim.run_until(context.horizon)
+    return partition.finish()

@@ -135,6 +135,31 @@ class PrestoProxy:
         """
         return self.sync.project(self._sync_key(sensor), timestamp)
 
+    def record_detection(
+        self, sensor: int, raw_timestamp: float, value: float, std: float = 0.0
+    ) -> CacheEntry:
+        """Cache a detection stamped by the mote's own free-running clock.
+
+        The entry is tagged with the sync frame in effect *now*, so the
+        ordered cross-proxy view (:meth:`~repro.core.unified.UnifiedStore.
+        ordered_view`) corrects it with the estimate contemporary with
+        the detection — later exchanges that re-fit a drifting clock
+        cannot retroactively move it.  Detections recorded before any
+        fit exists stay untagged and fall back to the estimate current
+        at read time.  Standing queries see the entry like any push.
+        """
+        entry = CacheEntry(
+            timestamp=float(raw_timestamp),
+            value=float(value),
+            std=float(std),
+            source=EntrySource.PUSHED,
+        )
+        estimate = self.sync.estimate_for(self._sync_key(sensor))
+        frame = None if estimate is None else (estimate.rate, estimate.offset)
+        self.cache.insert(sensor, entry, frame=frame)
+        self.continuous.on_entry(sensor, entry)
+        return entry
+
     def _insert_entry(self, sensor: int, entry: CacheEntry) -> None:
         """Insert into the cache and evaluate standing queries."""
         self.cache.insert(sensor, entry)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.proxy import PrestoProxy
 from repro.core.queries import AnswerSource, QueryAnswer
 from repro.index.directory import CacheDirectory
@@ -168,17 +170,23 @@ class UnifiedStore:
         insert time — entries are stamped from the shared lockstep epoch
         counter, so their cached timestamps *are* proxy time and are
         merged as stored.  Cells declared ``sensor_stamped`` hold raw
-        mote-clock stamps instead; those are mapped through the proxy's
-        sync estimates (:meth:`~repro.core.proxy.PrestoProxy.
-        corrected_time` — identity until a clock is fitted), and the
-        cache is scanned over the *image* of ``[start, end]`` in each
-        sensor's own frame, so a detection whose raw stamp sits outside
-        the window but whose corrected instant is inside cannot be
-        missed (and vice versa).
+        mote-clock stamps instead; those are corrected *per entry*: an
+        entry tagged with a clock frame (the ``(rate, offset)`` fit
+        captured when it was recorded — see :meth:`~repro.core.proxy.
+        PrestoProxy.record_detection`) maps through exactly that frame,
+        so later re-fits of a drifting clock never retroactively move
+        old detections; untagged entries fall back to the proxy's
+        current estimate (:meth:`~repro.core.proxy.PrestoProxy.
+        corrected_time` — identity until a clock is fitted).  The cache
+        is scanned over the *image* of ``[start, end]`` under the
+        current fit in each sensor's own frame, so a detection whose
+        raw stamp sits outside the window but whose corrected instant
+        is inside cannot be missed (and vice versa).
         """
         merged: list[tuple[float, int, float]] = []
         for cell in self._cells.values():
             proxy = cell.proxy
+            frames_in = getattr(proxy.cache, "frames_in", None)
             for local in range(proxy.n_sensors):
                 global_id = cell.first_sensor + local
                 if cell.sensor_stamped:
@@ -188,14 +196,26 @@ class UnifiedStore:
                         lo, hi = hi, lo
                 else:
                     lo, hi = start, end
-                for entry in proxy.cache.entries_in(local, lo, hi):
+                frames = (
+                    frames_in(local, lo, hi)
+                    if cell.sensor_stamped and frames_in is not None
+                    else None
+                )
+                for position, entry in enumerate(
+                    proxy.cache.entries_in(local, lo, hi)
+                ):
                     if not entry.is_actual:
                         continue
-                    corrected = (
-                        proxy.corrected_time(local, entry.timestamp)
-                        if cell.sensor_stamped
-                        else entry.timestamp
-                    )
+                    if not cell.sensor_stamped:
+                        corrected = entry.timestamp
+                    else:
+                        frame = None if frames is None else frames[position]
+                        if frame is not None and np.isfinite(frame).all():
+                            corrected = (entry.timestamp - frame[1]) / frame[0]
+                        else:
+                            corrected = proxy.corrected_time(
+                                local, entry.timestamp
+                            )
                     merged.append((corrected, global_id, entry.value))
         merged.sort(key=lambda item: (item[0], item[1]))
         return merged

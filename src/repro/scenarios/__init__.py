@@ -9,7 +9,12 @@ and federated harnesses and consolidates every run into one
 :class:`CampaignReport`.
 """
 
-from repro.scenarios.library import DEFAULT_CAMPAIGN, builtin_scenarios
+from repro.scenarios.library import (
+    DEFAULT_CAMPAIGN,
+    all_scenarios,
+    builtin_scenarios,
+    extended_scenarios,
+)
 from repro.scenarios.runner import (
     CampaignConfig,
     CampaignReport,
@@ -22,10 +27,12 @@ from repro.scenarios.spec import (
     SURGE_PROFILES,
     SWEEP_PARAMETERS,
     ClockRegime,
+    FaultSchedule,
     FederationRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
+    ServingRegime,
     StandingQuerySpec,
     StoragePressure,
     SweepAxis,
@@ -35,7 +42,9 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "DEFAULT_CAMPAIGN",
+    "all_scenarios",
     "builtin_scenarios",
+    "extended_scenarios",
     "CampaignConfig",
     "CampaignReport",
     "CampaignRunner",
@@ -43,10 +52,12 @@ __all__ = [
     "ScenarioResult",
     "SweepGrid",
     "ClockRegime",
+    "FaultSchedule",
     "FederationRegime",
     "ProxyFault",
     "RadioRegime",
     "ScenarioSpec",
+    "ServingRegime",
     "StandingQuerySpec",
     "StoragePressure",
     "SweepAxis",

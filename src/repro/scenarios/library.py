@@ -12,10 +12,12 @@ from __future__ import annotations
 from repro.core.continuous import TriggerKind
 from repro.scenarios.spec import (
     ClockRegime,
+    FaultSchedule,
     FederationRegime,
     ProxyFault,
     RadioRegime,
     ScenarioSpec,
+    ServingRegime,
     StandingQuerySpec,
     StoragePressure,
     SweepAxis,
@@ -192,6 +194,64 @@ def builtin_scenarios() -> dict[str, ScenarioSpec]:
     return {spec.name: spec for spec in scenarios}
 
 
+#: offered-load points for the serving saturation grid, ascending through
+#: the knee (the last point queues past one partition's capacity)
+SERVING_QPS_POINTS = (60.0, 240.0, 960.0)
+
+#: Zipf skews for the saturation grid: mild vs heavy popularity skew —
+#: heavier skew concentrates the memo's hits, moving the knee right
+SERVING_ZIPF_POINTS = (0.6, 1.1)
+
+
+def extended_scenarios() -> dict[str, ScenarioSpec]:
+    """Name → spec for scenarios beyond the pinned built-in set.
+
+    These are *not* part of :func:`builtin_scenarios` (whose names, order
+    and count are drift-gated API in ``BENCH_scenarios.json``); they run
+    on request via ``--scenario`` or through their own benchmarks
+    (``bench_serving.py`` owns the saturation grid).
+    """
+    scenarios = (
+        ScenarioSpec(
+            name="serving_saturation",
+            description="offered qps x zipf grid over a partitioned "
+            "federation's serving front-end",
+            federation=FederationRegime(partitions=2),
+            serving=ServingRegime(offered_qps=SERVING_QPS_POINTS[0]),
+            sweep=(
+                SweepAxis(parameter="offered_qps", values=SERVING_QPS_POINTS),
+                SweepAxis(parameter="zipf_s", values=SERVING_ZIPF_POINTS),
+            ),
+        ),
+        ScenarioSpec(
+            name="burst_locked_blackout",
+            description="proxy deaths phase-locked to interference burst "
+            "onsets — failover measured when the channel is at its worst",
+            radio=RadioRegime(
+                loss_probability=0.2,
+                burst_loss_probability=0.9,
+                burst_period_s=3 * 3600.0,
+                burst_duration_s=1800.0,
+            ),
+            faults=FaultSchedule(
+                faults=(
+                    ProxyFault(proxy_index=-1, at_fraction=0.3, action="fail"),
+                    ProxyFault(proxy_index=-2, at_fraction=0.6, action="fail"),
+                ),
+                align_to_bursts=True,
+            ),
+        ),
+    )
+    return {spec.name: spec for spec in scenarios}
+
+
+def all_scenarios() -> dict[str, ScenarioSpec]:
+    """The full registry: pinned built-ins first, then the extended set."""
+    return {**builtin_scenarios(), **extended_scenarios()}
+
+
 #: the specs the default campaign runs, in order — pass directly to
-#: :meth:`~repro.scenarios.runner.CampaignRunner.run`
+#: :meth:`~repro.scenarios.runner.CampaignRunner.run`.  Deliberately the
+#: pinned built-ins only: the extended set stays out of the drift-gated
+#: default campaign.
 DEFAULT_CAMPAIGN = tuple(builtin_scenarios().values())

@@ -39,6 +39,7 @@ from repro.core.continuous import ContinuousQuery, Notification, TriggerKind
 from repro.core.system import SystemReport
 from repro.radio.link import LinkConfig
 from repro.scenarios.spec import ScenarioSpec, StandingQuerySpec
+from repro.serving import ServingConfig
 from repro.sync.clock import ClockModel
 from repro.traces.events import (
     EventKind,
@@ -68,6 +69,10 @@ SWEEP_LABELS = {
     "loss_probability": "loss",
     "replica_sync_interval_s": "sync",
     "surge_multiplier": "surge",
+    "offered_qps": "qps",
+    "zipf_s": "zipf",
+    "memo_ttl_s": "memo",
+    "partitions": "parts",
 }
 
 
@@ -196,6 +201,10 @@ class ScenarioResult:
             out["unroutable"] = float(report.unroutable)
             out["max_replica_staleness_s"] = report.max_replica_staleness_s
             out["failover_mean_error"] = report.failover_mean_error
+            out["n_partitions"] = float(getattr(report, "n_partitions", 1))
+        serving = getattr(report, "serving", None)
+        if serving is not None:
+            out.update(serving.summary())
         return out
 
 
@@ -810,11 +819,34 @@ class CampaignRunner:
                     spec.workload, surge_multiplier=float(value)
                 )
                 spec = dataclasses.replace(spec, workload=workload)
+            elif parameter == "offered_qps":
+                serving = dataclasses.replace(
+                    spec.serving, offered_qps=float(value)
+                )
+                spec = dataclasses.replace(spec, serving=serving)
+            elif parameter in ("zipf_s", "memo_ttl_s"):
+                serving = dataclasses.replace(
+                    spec.serving, **{parameter: float(value)}
+                )
+                spec = dataclasses.replace(spec, serving=serving)
+            elif parameter == "partitions":
+                federation = dataclasses.replace(
+                    spec.federation, partitions=int(value)
+                )
+                spec = dataclasses.replace(spec, federation=federation)
             else:
                 # Unreachable while this chain covers spec.SWEEP_PARAMETERS;
                 # raising keeps a new parameter added there from silently
                 # sweeping the wrong knob here.
                 raise ValueError(f"no applier for sweep parameter {parameter!r}")
+        if not spec.serving.enabled and (
+            "zipf_s" in point or "memo_ttl_s" in point
+        ):
+            raise ValueError(
+                "sweeping zipf_s/memo_ttl_s does nothing with the serving "
+                "front-end off; set serving.offered_qps (or sweep "
+                "offered_qps on the same grid)"
+            )
         return spec
 
     def run_one(
@@ -870,7 +902,14 @@ class CampaignRunner:
                 seed=seed + 1,
                 model_clocks=spec.clocks.model_clocks,
                 clock_model=clock_model,
+                serving=self._serving_config(spec),
             )
+            if system.uses_partitions and spec.standing is not None:
+                raise ValueError(
+                    f"scenario {spec.name!r} arms standing queries, which "
+                    "need the shared-kernel federation; unset "
+                    "federation.partitions"
+                )
             proxies = [
                 (fc.cell.proxy, fc.to_global) for fc in system.cells
             ]
@@ -878,7 +917,10 @@ class CampaignRunner:
             networks = [fc.cell.network for fc in system.cells]
             faults_applied = self._schedule_faults(spec, system)
         armed = self._arm_standing_queries(spec, base, proxies)
-        bursts = self._schedule_bursts(spec, system.sim, networks)
+        if harness == "federated" and system.uses_partitions:
+            bursts = self._schedule_partitioned_bursts(spec, system)
+        else:
+            bursts = self._schedule_bursts(spec, system.sim, networks)
         queries = self._generate_queries(spec, trace, shards, seed)
         report = system.run(queries=queries, duration_s=cfg.duration_s)
         notifications = self._collect_notifications(proxies) if armed else []
@@ -932,7 +974,21 @@ class CampaignRunner:
             kwargs["replica_sync_interval_s"] = (
                 spec.federation.replica_sync_interval_s
             )
+        if spec.federation.partitions is not None:
+            kwargs["partitions"] = spec.federation.partitions
         return FederationConfig(**kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _serving_config(spec: ScenarioSpec) -> ServingConfig | None:
+        """The spec's serving front-end config (None when disabled)."""
+        if not spec.serving.enabled:
+            return None
+        return ServingConfig(
+            offered_qps=spec.serving.offered_qps,
+            zipf_s=spec.serving.zipf_s,
+            memo_ttl_s=spec.serving.memo_ttl_s,
+            n_users=spec.serving.n_users,
+        )
 
     def _generate_queries(
         self,
@@ -1119,16 +1175,35 @@ class CampaignRunner:
         )
 
     def _schedule_faults(self, spec: ScenarioSpec, system: FederatedSystem) -> int:
-        """Arm the spec's proxy fault schedule on the federated harness."""
+        """Arm the spec's proxy fault schedule on the federated harness.
+
+        An ``align_to_bursts`` schedule ignores each fault's
+        ``at_fraction`` and fires fault ``i`` at the onset of
+        interference burst ``i`` — the proxy dies exactly when the
+        channel turns hostile.
+        """
         n_proxies = len(system.proxy_names)
-        for fault in spec.faults:
+        onsets = None
+        if getattr(spec.faults, "align_to_bursts", False):
+            onsets = self._burst_starts(spec)
+            if len(onsets) < len(spec.faults):
+                raise ValueError(
+                    f"the fault schedule phase-locks {len(spec.faults)} "
+                    f"faults to bursts but the run only schedules "
+                    f"{len(onsets)}; shorten the cascade or the burst period"
+                )
+        for index, fault in enumerate(spec.faults):
             if not -n_proxies <= fault.proxy_index < n_proxies:
                 raise ValueError(
                     f"fault proxy_index {fault.proxy_index} out of range "
                     f"for {n_proxies} proxies"
                 )
             name = system.proxy_names[fault.proxy_index]
-            at_s = fault.at_fraction * self.config.duration_s
+            at_s = (
+                onsets[index]
+                if onsets is not None
+                else fault.at_fraction * self.config.duration_s
+            )
             if fault.action == "fail":
                 system.schedule_failure(name, at_s)
             else:
@@ -1176,6 +1251,41 @@ class CampaignRunner:
             end = min(start + radio.burst_duration_s, self.config.duration_s)
             sim.schedule(start, apply)
             sim.schedule(end, restore)
+            count += 1
+            start += radio.burst_period_s
+        return count
+
+    def _schedule_partitioned_bursts(
+        self, spec: ScenarioSpec, system: FederatedSystem
+    ) -> int:
+        """Interference bursts on the partitioned federation.
+
+        Partition kernels replay link events locally, so bursts route
+        through :meth:`FederatedSystem.schedule_link_change` instead of
+        closing over shared network objects (which a partitioned system
+        never builds).
+        """
+        radio = spec.radio
+        if radio.burst_loss_probability is None:
+            return 0
+        n_cells = len(system.proxy_names)
+        targets: list[int] | None = None
+        if radio.cell_indices:
+            for index in radio.cell_indices:
+                if not -n_cells <= index < n_cells:
+                    raise ValueError(
+                        f"burst cell index {index} out of range for "
+                        f"{n_cells} cells"
+                    )
+            targets = [index % n_cells for index in radio.cell_indices]
+        normal = LinkConfig(loss_probability=radio.loss_probability)
+        burst = LinkConfig(loss_probability=radio.burst_loss_probability)
+        count = 0
+        start = radio.burst_period_s
+        while start < self.config.duration_s:
+            end = min(start + radio.burst_duration_s, self.config.duration_s)
+            system.schedule_link_change(start, burst, targets)
+            system.schedule_link_change(end, normal, targets)
             count += 1
             start += radio.burst_period_s
         return count

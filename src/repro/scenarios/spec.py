@@ -217,9 +217,20 @@ class FederationRegime:
     replica-sync cadence for this scenario — and because it is a
     :data:`SWEEP_PARAMETERS` member, a :class:`SweepAxis` can chart
     replica staleness and failover fidelity against replication cost.
+
+    ``partitions`` selects the partitioned simulation kernel:
+
+    * ``None`` — the legacy shared kernel (every cell on one simulator);
+    * ``0`` — one partition per CPU core (capped at the cell count);
+    * ``k >= 1`` — exactly ``k`` per-partition kernels in lockstep.
+
+    Partitioned runs produce reports identical to the shared kernel (see
+    ``tests/test_partition.py``), so sweeping ``partitions`` charts pure
+    execution cost.  Standing queries need the shared kernel.
     """
 
     replica_sync_interval_s: float | None = None
+    partitions: int | None = None
 
     def __post_init__(self) -> None:
         if (
@@ -227,6 +238,47 @@ class FederationRegime:
             and self.replica_sync_interval_s <= 0
         ):
             raise ValueError("replica sync interval must be positive")
+        if self.partitions is not None and self.partitions < 0:
+            raise ValueError(
+                "partitions must be None (shared kernel), 0 (one per "
+                f"core) or a positive count, got {self.partitions}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingRegime:
+    """The query-serving front-end layered over a federated run.
+
+    ``offered_qps=None`` (the default) disables the front-end; a rate
+    turns it on — the federation then replays a Zipf-skewed serving
+    window of traffic from ``n_users`` simulated users through batched
+    admission and a TTL'd answer memo, and reports p50/p95/p99 latency,
+    memo hit rate, utilization and saturation metrics alongside the
+    routing numbers.  ``offered_qps``, ``zipf_s`` and ``memo_ttl_s`` are
+    :data:`SWEEP_PARAMETERS` members, so a grid charts the saturation
+    knee.  The single-cell harness has no serving tier; the regime only
+    applies to federated runs.
+    """
+
+    offered_qps: float | None = None
+    zipf_s: float = 0.9
+    memo_ttl_s: float = 30.0
+    n_users: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.offered_qps is not None and self.offered_qps <= 0:
+            raise ValueError("offered qps must be positive (None disables)")
+        if self.zipf_s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        if self.memo_ttl_s < 0:
+            raise ValueError("memo ttl must be >= 0")
+        if self.n_users < 1:
+            raise ValueError("need at least one user")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this scenario runs the serving front-end at all."""
+        return self.offered_qps is not None
 
 
 #: scenario parameters a :class:`SweepAxis` may vary, and how each value
@@ -237,6 +289,10 @@ SWEEP_PARAMETERS = (
     "loss_probability",
     "replica_sync_interval_s",
     "surge_multiplier",
+    "offered_qps",
+    "zipf_s",
+    "memo_ttl_s",
+    "partitions",
 )
 
 
@@ -301,6 +357,13 @@ class SweepAxis:
             value < 1.0 for value in self.values
         ):
             raise ValueError("surge-multiplier sweep values must be >= 1")
+        if self.parameter == "partitions" and any(
+            value < 1 or float(value) != int(value) for value in self.values
+        ):
+            raise ValueError(
+                f"partition sweep values must be whole counts >= 1, "
+                f"got {self.values}"
+            )
 
 
 @dataclass(frozen=True)
@@ -318,6 +381,65 @@ class ProxyFault:
             )
         if self.action not in ("fail", "recover"):
             raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class FaultSchedule:
+    """A proxy fault cascade, optionally phase-locked to interference bursts.
+
+    With ``align_to_bursts`` the runner ignores each fault's
+    ``at_fraction`` and fires fault ``i`` exactly at the onset of burst
+    ``i`` — the proxy dies the instant the channel is at its worst, the
+    fault-schedule mirror of
+    :attr:`TracePerturbation.align_to_bursts` (the run must schedule at
+    least as many bursts as there are faults).
+
+    The schedule quacks like the plain fault tuple it replaces: it
+    iterates, indexes, measures and compares equal against tuples/lists
+    of :class:`ProxyFault`, so ``spec.faults == ()`` and
+    ``for fault in spec.faults`` read unchanged.
+    """
+
+    faults: tuple[ProxyFault, ...] = ()
+    align_to_bursts: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if any(not isinstance(fault, ProxyFault) for fault in self.faults):
+            raise ValueError("fault schedules hold ProxyFault instances")
+        if self.align_to_bursts:
+            if not self.faults:
+                raise ValueError("align_to_bursts needs at least one fault")
+        else:
+            fractions = [fault.at_fraction for fault in self.faults]
+            if fractions != sorted(fractions):
+                raise ValueError(
+                    "fault schedules must be ordered by at_fraction (a "
+                    f"cascade reads in time order); got {fractions}"
+                )
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __getitem__(self, index):
+        return self.faults[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FaultSchedule):
+            return (self.faults, self.align_to_bursts) == (
+                other.faults,
+                other.align_to_bursts,
+            )
+        if isinstance(other, (tuple, list)):
+            return not self.align_to_bursts and self.faults == tuple(other)
+        return NotImplemented
 
 
 @dataclass(frozen=True)
@@ -338,8 +460,10 @@ class ScenarioSpec:
     clocks: ClockRegime = field(default_factory=ClockRegime)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     federation: FederationRegime = field(default_factory=FederationRegime)
+    serving: ServingRegime = field(default_factory=ServingRegime)
     standing: StandingQuerySpec | None = None
-    faults: tuple[ProxyFault, ...] = ()
+    #: fault cascade; accepts FaultSchedule | Sequence[ProxyFault]
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
     #: sweep grid; accepts SweepAxis | Sequence[SweepAxis] | None
     sweep: tuple[SweepAxis, ...] = ()
 
@@ -361,16 +485,20 @@ class ScenarioSpec:
             raise ValueError(
                 f"sweep axes must vary distinct parameters, got {parameters}"
             )
-        fractions = [fault.at_fraction for fault in self.faults]
-        if fractions != sorted(fractions):
-            raise ValueError(
-                "fault schedules must be ordered by at_fraction (a cascade "
-                f"reads in time order); got {fractions}"
-            )
+        # Back-compat shim: a bare ProxyFault sequence normalises to a
+        # FaultSchedule, which carries the ordered-fractions validation.
+        if not isinstance(self.faults, FaultSchedule):
+            object.__setattr__(self, "faults", FaultSchedule(tuple(self.faults)))
         if self.trace.align_to_bursts and self.radio.burst_loss_probability is None:
             raise ValueError(
                 "align_to_bursts phase-locks events to interference bursts; "
                 "the radio regime has none (set burst_loss_probability)"
+            )
+        if self.faults.align_to_bursts and self.radio.burst_loss_probability is None:
+            raise ValueError(
+                "the fault schedule phase-locks deaths to interference "
+                "bursts; the radio regime has none (set "
+                "burst_loss_probability)"
             )
 
     @property

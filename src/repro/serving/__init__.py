@@ -1,0 +1,16 @@
+"""Query-serving front-end: Zipf traffic, batched admission, memoization,
+latency percentiles over a partitioned federation."""
+
+from repro.serving.config import ServingConfig, ServingReport
+from repro.serving.frontend import BackendSegments, ServingFrontend
+from repro.serving.traffic import Traffic, generate_traffic, zipf_weights
+
+__all__ = [
+    "BackendSegments",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "Traffic",
+    "generate_traffic",
+    "zipf_weights",
+]

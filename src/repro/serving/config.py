@@ -1,0 +1,91 @@
+"""Configuration and report types for the query-serving front-end tier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the production-traffic front-end layered over a federation.
+
+    The front-end draws ``offered_qps`` queries per second from
+    ``n_users`` simulated users over a serving window placed mid-run,
+    skews sensor popularity by a Zipf law with exponent ``zipf_s``, admits
+    traffic in ``admission_interval_s`` batches against the federated
+    directory, and memoizes answers for ``memo_ttl_s`` so overlapping
+    windows (quantized to ``window_quant_s``) are served from the
+    front-end instead of the backend.  ``offered_qps``, ``zipf_s``,
+    ``memo_ttl_s`` and the federation's partition count are sweepable
+    scenario parameters — the offered-load-vs-p99 grid charts the
+    saturation knee.
+    """
+
+    offered_qps: float = 200.0
+    zipf_s: float = 0.9
+    n_users: int = 2_000_000
+    memo_ttl_s: float = 30.0
+    admission_interval_s: float = 0.25
+    service_time_s: float = 0.004        # backend CPU per admitted miss
+    memo_hit_latency_s: float = 0.0005   # front-end lookup on a memo hit
+    now_fraction: float = 0.6            # value queries; rest are windows
+    window_s: float = 3_600.0            # span of a window query
+    window_quant_s: float = 60.0         # memo key quantization
+    duration_s: float = 600.0            # serving window length (mid-run)
+
+    def __post_init__(self) -> None:
+        if self.offered_qps <= 0:
+            raise ValueError("offered qps must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        if self.n_users < 1:
+            raise ValueError("need at least one user")
+        if self.memo_ttl_s < 0:
+            raise ValueError("memo ttl must be >= 0")
+        if self.admission_interval_s <= 0:
+            raise ValueError("admission interval must be positive")
+        if self.service_time_s <= 0:
+            raise ValueError("service time must be positive")
+        if self.memo_hit_latency_s < 0:
+            raise ValueError("memo hit latency must be >= 0")
+        if not 0.0 <= self.now_fraction <= 1.0:
+            raise ValueError("now fraction must be in [0, 1]")
+        if self.window_s <= 0 or self.window_quant_s <= 0:
+            raise ValueError("window spans must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("serving window must be positive")
+
+
+@dataclass
+class ServingReport:
+    """What the front-end measured over its serving window."""
+
+    offered_qps: float
+    achieved_qps: float                  # served (non-failed) completions / window
+    n_queries: int
+    distinct_users: int
+    memo_hit_rate: float                 # fraction answered from the memo
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    utilization: float                   # backend busy time / capacity
+    unserved: int                        # no live server for the sensor
+    n_partitions: int
+    zipf_s: float
+    memo_ttl_s: float
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the serving metrics (keys prefixed ``serving_``)."""
+        return {
+            "serving_offered_qps": float(self.offered_qps),
+            "serving_achieved_qps": float(self.achieved_qps),
+            "serving_queries": float(self.n_queries),
+            "serving_distinct_users": float(self.distinct_users),
+            "serving_memo_hit_rate": float(self.memo_hit_rate),
+            "serving_p50_s": float(self.p50_latency_s),
+            "serving_p95_s": float(self.p95_latency_s),
+            "serving_p99_s": float(self.p99_latency_s),
+            "serving_utilization": float(self.utilization),
+            "serving_unserved": float(self.unserved),
+        }

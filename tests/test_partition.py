@@ -1,0 +1,205 @@
+"""Partitioned federation: equivalence with the shared kernel, pinned.
+
+The contract mirrors ``tests/test_parallel_campaign.py``: splitting a
+federated run across independent simulation partitions is an execution
+detail, so the ``FederatedReport`` routing/failover/fidelity numbers must
+be *identical* — not approximately equal — at every partition count and on
+both partition backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FederationConfig, PrestoConfig
+from repro.core.federation import FederatedSystem, partition_cells
+from repro.serving import ServingConfig
+from repro.simulation.kernel import (
+    LockstepGroup,
+    SimulationError,
+    Simulator,
+    barrier_schedule,
+)
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import QueryWorkloadConfig, ShardedWorkloadGenerator
+
+DURATION_S = 4 * 3600.0
+
+
+def make_trace(n_sensors=8):
+    config = IntelLabConfig(
+        n_sensors=n_sensors, duration_s=DURATION_S, epoch_s=31.0
+    )
+    return IntelLabGenerator(config, seed=7).generate()
+
+
+def fast_config():
+    return PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=3 * 3600.0,
+        min_training_epochs=128,
+    )
+
+
+def run_federated(partitions, backend="inline", serving=None, kill=True):
+    trace = make_trace()
+    federation = FederationConfig(
+        n_proxies=4,
+        replication_factor=1,
+        partitions=partitions,
+        partition_backend=backend,
+    )
+    system = FederatedSystem(
+        trace,
+        config=fast_config(),
+        federation=federation,
+        seed=3,
+        serving=serving,
+    )
+    generator = ShardedWorkloadGenerator(
+        [list(shard) for shard in system.shards],
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 120.0),
+        rng=np.random.default_rng(11),
+    )
+    queries = generator.generate(0.0, DURATION_S)
+    if kill:
+        system.schedule_failure("proxy3", 2.5 * 3600.0)
+    return system.run(queries, duration_s=DURATION_S)
+
+
+def report_key(report):
+    """Everything the federation measures, exact — no tolerances."""
+    return (
+        report.cross_proxy_hops,
+        report.replica_hits,
+        report.failovers,
+        report.unroutable,
+        report.replica_syncs,
+        report.fault_staleness_s,
+        report.failover_mean_error,
+        report.failover_max_error,
+        report.sensor_energy_j,
+        report.proxy_energy_j,
+        tuple(report.per_sensor_energy_j),
+        report.pushes,
+        report.cold_pushes,
+        report.batches,
+        report.pulls,
+        report.pull_failures,
+        report.packets_sent,
+        report.delivery_ratio,
+        report.model_refits,
+        report.cache_size,
+        report.cache_insertions,
+        tuple(answer.latency_s for answer in report.answers),
+        tuple(
+            answer.value if answer.value is not None else None
+            for answer in report.answers
+        ),
+        tuple(answer.source for answer in report.answers),
+    )
+
+
+class TestPartitionEquivalence:
+    @pytest.fixture(scope="class")
+    def legacy_key(self):
+        return report_key(run_federated(None))
+
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_partition_counts_match_shared_kernel(self, legacy_key, partitions):
+        assert report_key(run_federated(partitions)) == legacy_key
+
+    def test_process_backend_matches_shared_kernel(self, legacy_key):
+        report = run_federated(4, backend="process")
+        assert report_key(report) == legacy_key
+
+    def test_partitioned_report_records_partition_count(self):
+        report = run_federated(2)
+        assert report.n_partitions == 2
+        assert run_federated(None).n_partitions == 1
+
+    def test_partition_cells_contiguous_and_total(self):
+        assign = partition_cells(10, 3)
+        assert sorted(cell for block in assign for cell in block) == list(range(10))
+        for block in assign:
+            assert block == list(range(block[0], block[0] + len(block)))
+        with pytest.raises(ValueError):
+            partition_cells(4, 5)
+
+
+class TestServingDeterminism:
+    def test_serving_identical_across_backends_at_fixed_partitions(self):
+        serving = ServingConfig(offered_qps=40.0, duration_s=120.0)
+        inline = run_federated(4, backend="inline", serving=serving).serving
+        process = run_federated(4, backend="process", serving=serving).serving
+        assert inline is not None and process is not None
+        assert inline.p99_latency_s == process.p99_latency_s
+        assert inline.memo_hit_rate == process.memo_hit_rate
+        assert inline.n_queries == process.n_queries
+
+    def test_serving_metrics_are_recorded(self):
+        serving = ServingConfig(offered_qps=40.0, duration_s=120.0)
+        report = run_federated(2, serving=serving, kill=False)
+        summary = report.summary()
+        assert summary["serving_queries"] > 0
+        assert (
+            summary["serving_p50_s"]
+            <= summary["serving_p95_s"]
+            <= summary["serving_p99_s"]
+        )
+        assert 0.0 <= summary["serving_memo_hit_rate"] <= 1.0
+        assert report.serving.distinct_users > 0
+
+    def test_saturation_grows_p99(self):
+        # memo_ttl_s=0 disables the cross-batch memo and a 50 ms service
+        # time puts one partition's capacity (20/s) below the deduplicated
+        # miss rate at high load, so the heavy run queues without bound.
+        light = run_federated(
+            1,
+            serving=ServingConfig(
+                offered_qps=4.0,
+                duration_s=120.0,
+                memo_ttl_s=0.0,
+                service_time_s=0.05,
+            ),
+            kill=False,
+        ).serving
+        heavy = run_federated(
+            1,
+            serving=ServingConfig(
+                offered_qps=2_000.0,
+                duration_s=120.0,
+                memo_ttl_s=0.0,
+                service_time_s=0.05,
+            ),
+            kill=False,
+        ).serving
+        assert heavy.p99_latency_s > 10.0 * light.p99_latency_s
+        assert heavy.utilization > light.utilization
+
+
+class TestLockstepKernel:
+    def test_barrier_schedule_merges_interval_and_instants(self):
+        barriers = barrier_schedule(10.0, interval=4.0, instants=(3.0, 12.0, 0.0))
+        assert barriers == [3.0, 4.0, 8.0, 10.0]
+
+    def test_barrier_schedule_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            barrier_schedule(0.0)
+        with pytest.raises(SimulationError):
+            barrier_schedule(10.0, interval=-1.0)
+
+    def test_lockstep_group_advances_members_together(self):
+        sims = [Simulator(), Simulator()]
+        seen = []
+        sims[0].schedule(2.0, lambda: seen.append("a@2"))
+        sims[1].schedule(5.0, lambda: seen.append("b@5"))
+        observed = []
+        group = LockstepGroup(sims)
+        group.run([4.0, 6.0], on_barrier=lambda t: observed.append((t, tuple(s.now for s in sims))))
+        assert seen == ["a@2", "b@5"]
+        assert observed == [(4.0, (4.0, 4.0)), (6.0, (6.0, 6.0))]
+
+    def test_lockstep_group_rejects_unsorted_barriers(self):
+        group = LockstepGroup([Simulator()])
+        with pytest.raises(SimulationError):
+            group.run([5.0, 5.0])
