@@ -1,0 +1,83 @@
+"""Finding records and suppression-comment handling.
+
+A :class:`Finding` pins one rule violation to a source location.  Findings
+sort by ``(path, line, col, rule)`` so reports are stable across runs and
+platforms — the linter holds itself to the determinism bar it enforces.
+
+Suppressions are line-scoped comments::
+
+    risky = list(some_set)  # repro-lint: ignore[unordered-iteration]
+
+Several ids may be listed (``ignore[rule-a, rule-b]``) and ``ignore[*]``
+silences every rule on that line.  There is deliberately no file-level
+escape hatch: a hazard either has a one-line justification at the site or
+it gets fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: matches one suppression comment; group 1 is the comma-separated id list
+_SUPPRESSION = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location (1-based line, 0-based col)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical single-line textual form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, str | int]:
+        """JSON-ready mapping (schema documented in docs/analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Per-file map of ``line -> suppressed rule ids`` (``*`` = all rules)."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        """Collect every suppression comment in *source*.
+
+        The scan is lexical (one regex per physical line), so a suppression
+        inside a string literal would also count; in exchange the comment
+        works on any line, including ones the AST does not attribute
+        precisely (decorators, multi-line calls).
+        """
+        by_line: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            for match in _SUPPRESSION.finditer(text):
+                ids = {part.strip() for part in match.group(1).split(",")}
+                ids.discard("")
+                if ids:
+                    by_line.setdefault(lineno, set()).update(ids)
+        return cls(by_line=by_line)
+
+    def covers(self, finding: Finding) -> bool:
+        """True when *finding* is silenced by a comment on its line."""
+        ids = self.by_line.get(finding.line)
+        if not ids:
+            return False
+        return "*" in ids or finding.rule in ids
+
+    def __len__(self) -> int:
+        return len(self.by_line)

@@ -1,0 +1,109 @@
+"""Which files each determinism rule applies to.
+
+Paths are classified relative to the ``repro`` package root (the directory
+holding ``repro/__init__.py``).  A file *outside* the package — a test
+fixture, a scratch snippet — gets no exemptions at all: every rule applies,
+which is what makes fixture-driven tests of the rules straightforward.
+
+The allowlists mirror the repository's seed-plumbing contract:
+
+* ``simulation/randomness.py`` is the **only** place raw generators are
+  constructed (:class:`~repro.simulation.randomness.RandomStreams` and
+  :func:`~repro.simulation.randomness.seeded_rng`);
+* ``cli.py`` / ``__main__.py`` are entry points — they mint the experiment
+  seed from user input, and they may time things;
+* the determinism-critical prefixes are the modules whose iteration order
+  reaches pinned reports: the federation/routing core, the campaign
+  runner, the simulation kernel, the serving tier and the indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def package_relative(path: Path) -> str | None:
+    """*path* relative to the ``repro`` package root, or ``None`` if outside.
+
+    Works on any checkout layout by locating the last ``repro`` path
+    segment that is immediately under a ``src`` directory (the installed
+    layout ``site-packages/repro`` also matches via the bare-``repro``
+    fallback).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index] == "repro" and (
+            parts[index - 1] == "src" or index == len(parts) - 2
+        ):
+            relative = parts[index + 1 :]
+            if relative:
+                return "/".join(relative)
+    return None
+
+
+@dataclass(frozen=True)
+class LintPolicy:
+    """Scope configuration consulted by every rule via its ``applies_to``."""
+
+    #: files allowed to construct raw RNGs (the sanctioned plumbing sites)
+    rng_sanctioned: frozenset[str] = frozenset(
+        {"simulation/randomness.py", "cli.py", "__main__.py"}
+    )
+    #: entry points allowed to read the wall clock
+    wall_clock_exempt: frozenset[str] = frozenset({"cli.py", "__main__.py"})
+    #: determinism-critical prefixes for the unordered-iteration rule
+    critical_prefixes: tuple[str, ...] = (
+        "core/",
+        "scenarios/",
+        "simulation/",
+        "serving/",
+        "index/",
+    )
+    #: extra call names accepted as deterministic RNG constructors anywhere
+    sanctioned_rng_calls: frozenset[str] = frozenset({"seeded_rng"})
+    #: module-global suffix of the sanctioned per-worker registry pattern
+    pool_state_suffix: str = "_POOL_STATE"
+    #: function-name suffixes allowed to populate a ``*_POOL_STATE`` registry
+    pool_init_suffixes: tuple[str, ...] = ("_pool_init", "_init")
+
+    def rng_exempt(self, rel: str | None) -> bool:
+        """True when *rel* may construct generators directly."""
+        return rel is not None and rel in self.rng_sanctioned
+
+    def wall_clock_allowed(self, rel: str | None) -> bool:
+        """True when *rel* is an entry point that may read the wall clock."""
+        return rel is not None and rel in self.wall_clock_exempt
+
+    def is_critical(self, rel: str | None) -> bool:
+        """True when *rel* is in a determinism-critical module (or outside
+        the package entirely — strict mode for fixtures)."""
+        if rel is None:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.critical_prefixes)
+
+
+DEFAULT_POLICY = LintPolicy()
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: Path
+    source: str
+    tree: object                     # ast.Module (typed loosely to keep import light)
+    rel: str | None = None
+    policy: LintPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+
+    def __post_init__(self) -> None:
+        if self.rel is None:
+            self.rel = package_relative(self.path)
+
+    @property
+    def display_path(self) -> str:
+        """Path as reported in findings (relative to cwd when possible)."""
+        try:
+            return str(self.path.resolve().relative_to(Path.cwd()))
+        except ValueError:
+            return str(self.path)

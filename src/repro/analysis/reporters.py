@@ -1,0 +1,43 @@
+"""Render lint results as text or JSON.
+
+Both renderers are pure functions of a :class:`~repro.analysis.runner.
+LintResult`; output is deterministic (findings arrive sorted, JSON keys
+are sorted) so CI logs diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.analysis.runner import LintResult
+
+#: bumped whenever the JSON layout changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "LintResult") -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} in {result.files_scanned} files "
+        f"({result.suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (schema documented in docs/analysis.md)."""
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "counts": counts,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

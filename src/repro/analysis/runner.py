@@ -1,0 +1,102 @@
+"""File discovery, parsing and rule dispatch for ``repro lint``."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Suppressions
+from repro.analysis.policy import DEFAULT_POLICY, FileContext, LintPolicy
+from repro.analysis.rules import RULES, Rule
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing (unsuppressed) was found."""
+        return not self.findings
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files pass through), sorted.
+
+    Sorting pins report order regardless of filesystem enumeration order —
+    the linter must satisfy its own reproducibility bar.
+    """
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            found.add(path)
+        elif path.is_dir():
+            found.update(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_file(
+    path: Path,
+    rules: list[Rule] | None = None,
+    policy: LintPolicy | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one file: ``(unsuppressed findings, suppressed count)``.
+
+    A file that fails to parse yields a single ``syntax-error`` finding —
+    unparseable code cannot be certified deterministic.
+    """
+    policy = policy or DEFAULT_POLICY
+    chosen = rules if rules is not None else list(RULES.values())
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule="syntax-error",
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(path=path, source=source, tree=tree, policy=policy)
+    suppressions = Suppressions.scan(source)
+    kept: set[Finding] = set()
+    suppressed = 0
+    for rule in chosen:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.covers(finding):
+                suppressed += 1
+            else:
+                kept.add(finding)
+    return sorted(kept), suppressed
+
+
+def lint_paths(
+    paths: list[Path] | list[str],
+    rules: list[Rule] | None = None,
+    policy: LintPolicy | None = None,
+) -> LintResult:
+    """Lint every Python file under *paths* with *rules* (default: all)."""
+    resolved = [Path(p) for p in paths]
+    result = LintResult()
+    for file_path in iter_python_files(resolved):
+        findings, suppressed = lint_file(file_path, rules=rules, policy=policy)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_scanned += 1
+    result.findings.sort()
+    return result

@@ -1,0 +1,196 @@
+"""The double-run determinism sanitizer (``repro lint --runtime``).
+
+Static rules catch hazard *patterns*; this module checks the property
+itself.  One pinned scenario from the smoke campaign is executed in fresh
+child interpreters under configurations that perturb exactly the state a
+nondeterminism bug would couple to:
+
+* two different ``PYTHONHASHSEED`` values (str hash / set-order bugs);
+* serial vs ``--jobs 2`` execution (worker-shared-state bugs).
+
+Each child prints the campaign rows as **canonical JSON** — sorted keys,
+fixed float formatting via ``repr``, and the ``wall_clock_s`` measurement
+fields stripped (they are the one sanctioned run-to-run difference; the
+drift gates compare them under an explicit tolerance band instead).  The
+audit passes only when all child outputs are byte-identical.
+
+Run as a module (``python -m repro.analysis.runtime --scenario NAME
+--jobs N``) this file *is* the child; :func:`run_audit` is the
+orchestrator used by the CLI and ``tools/determinism_audit.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: the campaign scenario the audit replays (faults + replication + sweep
+#: would be slower; ``cascading failures`` exercises the deepest stack —
+#: directory liveness, replica sync, failover answering — at smoke scale)
+DEFAULT_SCENARIO = "cascading failures"
+
+#: hash seeds the child runs use; any fixed distinct pair works
+HASH_SEEDS = (101, 202)
+
+#: row fields measuring host wall-clock time, excluded from the canonical
+#: form (see ScenarioResult.wall_clock_s: the only sanctioned difference)
+VOLATILE_FIELDS = ("wall_clock_s",)
+
+
+def canonical_rows(scenario: str, jobs: int) -> str:
+    """Run *scenario* at smoke scale and serialize its rows canonically.
+
+    Imports live inside the function so that ``repro lint`` does not drag
+    the whole simulation stack in just to report static findings.
+    """
+    from repro.scenarios import CampaignConfig, CampaignRunner, all_scenarios
+
+    specs = all_scenarios()
+    if scenario not in specs:
+        raise SystemExit(
+            f"unknown scenario {scenario!r}; have {sorted(specs)}"
+        )
+    runner = CampaignRunner(CampaignConfig.smoke())
+    report = runner.run([specs[scenario]], jobs=jobs)
+    rows = []
+    for row in report.rows():
+        kept = {k: v for k, v in sorted(row.items()) if k not in VOLATILE_FIELDS}
+        rows.append(kept)
+    # repr-based float encoding (json's default) is exact for binary64, so
+    # equal results serialize to equal bytes; NaN spelling is fixed too
+    return json.dumps(rows, sort_keys=True, indent=None, separators=(",", ":"))
+
+
+@dataclass
+class AuditRun:
+    """One child execution of the pinned scenario."""
+
+    label: str
+    hash_seed: int
+    jobs: int
+    output: bytes = b""
+
+
+@dataclass
+class AuditResult:
+    """Outcome of the double-run audit."""
+
+    scenario: str
+    runs: list[AuditRun] = field(default_factory=list)
+    identical: bool = False
+
+    def describe(self) -> str:
+        """Multi-line human-readable verdict."""
+        lines = [f"determinism audit: scenario {self.scenario!r}"]
+        for run in self.runs:
+            lines.append(
+                f"  {run.label}: PYTHONHASHSEED={run.hash_seed} "
+                f"jobs={run.jobs} -> {len(run.output)} canonical bytes"
+            )
+        if self.identical:
+            lines.append(
+                "  PASS: all runs serialized byte-identically "
+                "(hash-seed and serial/parallel invariant)"
+            )
+        else:
+            lines.append("  FAIL: runs diverged — the report is not replayable")
+            baseline = self.runs[0].output if self.runs else b""
+            for run in self.runs[1:]:
+                if run.output != baseline:
+                    lines.append(
+                        f"  {run.label} differs from {self.runs[0].label} "
+                        f"at byte {_first_difference(baseline, run.output)}"
+                    )
+        return "\n".join(lines)
+
+
+def _first_difference(a: bytes, b: bytes) -> int:
+    for index, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return index
+    return min(len(a), len(b))
+
+
+def _child_env(hash_seed: int) -> dict[str, str]:
+    """Child environment: pinned hash seed, package importable."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+    return env
+
+
+def run_audit(
+    scenario: str = DEFAULT_SCENARIO, python: str | None = None
+) -> AuditResult:
+    """Execute the audit matrix in child interpreters and compare outputs.
+
+    ``PYTHONHASHSEED`` only takes effect at interpreter startup, which is
+    why the runs are subprocesses rather than in-process calls.
+    """
+    interpreter = python or sys.executable
+    matrix = (
+        ("serial/hash-a", HASH_SEEDS[0], 1),
+        ("serial/hash-b", HASH_SEEDS[1], 1),
+        ("jobs-2/hash-a", HASH_SEEDS[0], 2),
+    )
+    result = AuditResult(scenario=scenario)
+    for label, hash_seed, jobs in matrix:
+        completed = subprocess.run(
+            [
+                interpreter,
+                "-m",
+                "repro.analysis.runtime",
+                "--scenario",
+                scenario,
+                "--jobs",
+                str(jobs),
+            ],
+            env=_child_env(hash_seed),
+            capture_output=True,
+            check=False,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"audit child {label} failed "
+                f"(exit {completed.returncode}):\n"
+                + completed.stderr.decode("utf-8", "replace")
+            )
+        result.runs.append(
+            AuditRun(
+                label=label,
+                hash_seed=hash_seed,
+                jobs=jobs,
+                output=completed.stdout,
+            )
+        )
+    outputs = {run.output for run in result.runs}
+    result.identical = len(outputs) == 1 and bool(result.runs)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Child entry point: print the canonical serialization and exit."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.runtime",
+        description="canonical single-scenario campaign serialization "
+        "(child process of the determinism audit)",
+    )
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    sys.stdout.write(canonical_rows(args.scenario, args.jobs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

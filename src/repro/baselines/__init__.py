@@ -14,15 +14,15 @@ Two kinds of baseline live here:
   be regenerated quantitatively.
 """
 
+from repro.baselines.bbq import BbqArchitecture
+from repro.baselines.common import BaselineReport
+from repro.baselines.direct import DirectQueryingArchitecture
 from repro.baselines.strategies import (
     StrategyResult,
     batched_push_energy,
     value_driven_push_energy,
 )
-from repro.baselines.common import BaselineReport
-from repro.baselines.direct import DirectQueryingArchitecture
 from repro.baselines.streaming import StreamingArchitecture
-from repro.baselines.bbq import BbqArchitecture
 from repro.baselines.value_push import ValuePushArchitecture
 
 __all__ = [

@@ -17,11 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.common import (
-    BaselineArchitecture,
-    BaselineReport,
     QUERY_BYTES,
     READING_BYTES,
     SERVER_PROCESSING_S,
+    BaselineArchitecture,
+    BaselineReport,
 )
 from repro.core.queries import AnswerSource, QueryAnswer
 from repro.timeseries.gaussian import MultivariateGaussianModel

@@ -12,10 +12,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.queries import QueryAnswer
-from repro.energy.constants import NodeEnergyProfile, MICA2_PROFILE
+from repro.energy.constants import MICA2_PROFILE, NodeEnergyProfile
 from repro.energy.duty_cycle import DutyCycleConfig, lpl_average_power
 from repro.energy.meter import EnergyMeter
-from repro.energy.radio_energy import transfer_energy, receive_energy
+from repro.energy.radio_energy import receive_energy, transfer_energy
+from repro.simulation.randomness import seeded_rng
 from repro.traces.intel_lab import TraceSet
 from repro.traces.workload import Query, QueryKind
 
@@ -137,7 +138,9 @@ class BaselineArchitecture:
         self.trace = trace
         self.profile = profile
         self.duty_cycle = DutyCycleConfig(check_interval_s=check_interval_s)
-        self.rng = rng or np.random.default_rng(0)
+        # explicit deterministic fallback: baseline comparisons replay the
+        # same loss/backoff draws when no generator is threaded in
+        self.rng = rng if rng is not None else seeded_rng(0)
         self.meters = [EnergyMeter(f"sensor{i}") for i in range(trace.n_sensors)]
         self.messages = 0
 

@@ -17,11 +17,11 @@ the reply; Cougar routes the query point-to-point to the one sensor.
 from __future__ import annotations
 
 from repro.baselines.common import (
-    BaselineArchitecture,
-    BaselineReport,
     QUERY_BYTES,
     READING_BYTES,
     SERVER_PROCESSING_S,
+    BaselineArchitecture,
+    BaselineReport,
 )
 from repro.core.queries import AnswerSource, QueryAnswer
 from repro.traces.workload import Query, QueryKind

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.energy.constants import RadioConstants, MICA2_RADIO
+from repro.energy.constants import MICA2_RADIO, RadioConstants
 from repro.energy.radio_energy import burst_transfer_energy
 from repro.signal.compress import compress_block, compressed_size_bytes
 from repro.traces.intel_lab import TraceSet

@@ -15,10 +15,10 @@ import math
 import numpy as np
 
 from repro.baselines.common import (
-    BaselineArchitecture,
-    BaselineReport,
     READING_BYTES,
     SERVER_PROCESSING_S,
+    BaselineArchitecture,
+    BaselineReport,
 )
 from repro.core.queries import AnswerSource, QueryAnswer
 from repro.energy.radio_energy import transfer_energy

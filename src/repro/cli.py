@@ -12,6 +12,8 @@ Usage::
                                [--harness both|single|federated] [--list]
                                [--sweep PARAM=START:STOP:STEPS ...]
                                [--jobs N] [--grid-csv DIR]
+    python -m repro lint       [PATH ...] [--format text|json] [--runtime]
+                               [--rule ID ...] [--list-rules]
 
 ``figure2`` and ``table1`` mirror the benchmark harnesses; ``run`` executes
 one PRESTO cell and prints its report; ``models`` compares push suppression
@@ -23,7 +25,11 @@ cascades, wear-out and workload sweeps, and adversarially timed anomalies
 — over both harnesses and prints one consolidated report with per-fault
 replica staleness.  ``--jobs N`` fans the campaign's variant cross
 product over a process pool (``0`` = one worker per core) with identical
-results; per-variant completion streams to stderr.
+results; per-variant completion streams to stderr.  ``lint`` runs the
+determinism analyzer (see :mod:`repro.analysis` and ``docs/analysis.md``)
+over the given paths, and with ``--runtime`` additionally replays a
+pinned scenario under different hash seeds and serial-vs-parallel jobs,
+failing unless the reports are byte-identical.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis import RULES, lint_paths, render_json, render_text
 from repro.baselines import (
     BbqArchitecture,
     DirectQueryingArchitecture,
@@ -366,6 +373,42 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism analyzer (and optionally the double-run audit)."""
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule_id, rule in RULES.items():
+            print(f"{rule_id:<{width}}  {rule.summary}")
+        return 0
+    if args.rule:
+        unknown = [rule_id for rule_id in args.rule if rule_id not in RULES]
+        if unknown:
+            print(f"error: unknown rules {unknown}; have {list(RULES)}")
+            return 2
+        rules = [RULES[rule_id] for rule_id in args.rule]
+    else:
+        rules = None
+    try:
+        result = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}")
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    status = 0 if result.clean else 1
+    if args.runtime:
+        # imported lazily: the audit drags in the whole simulation stack
+        from repro.analysis.runtime import DEFAULT_SCENARIO, run_audit
+
+        audit = run_audit(scenario=args.runtime_scenario or DEFAULT_SCENARIO)
+        print(audit.describe())
+        if not audit.identical:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -380,10 +423,50 @@ def build_parser() -> argparse.ArgumentParser:
         ("models", cmd_models, None),
         ("federation", cmd_federation, "federation"),
         ("scenarios", cmd_scenarios, "scenarios"),
+        ("lint", cmd_lint, "lint"),
     ):
         sub = subparsers.add_parser(name, help=handler.__doc__)
-        _add_common(sub)
-        if extra == "scenarios":
+        if extra != "lint":
+            _add_common(sub)
+        if extra == "lint":
+            sub.add_argument(
+                "paths",
+                nargs="*",
+                default=["src"],
+                metavar="PATH",
+                help="files or directories to analyze (default: src)",
+            )
+            sub.add_argument(
+                "--format",
+                default="text",
+                choices=("text", "json"),
+                help="report format",
+            )
+            sub.add_argument(
+                "--rule",
+                action="append",
+                metavar="ID",
+                help="run only this rule (repeatable; default: all rules)",
+            )
+            sub.add_argument(
+                "--runtime",
+                action="store_true",
+                help="also run the double-run determinism audit "
+                "(PYTHONHASHSEED x serial/parallel byte-identity)",
+            )
+            sub.add_argument(
+                "--runtime-scenario",
+                default=None,
+                metavar="NAME",
+                help="scenario the runtime audit replays "
+                "(default: 'cascading failures')",
+            )
+            sub.add_argument(
+                "--list-rules",
+                action="store_true",
+                help="list rule ids and summaries, then exit",
+            )
+        elif extra == "scenarios":
             sub.set_defaults(sensors=6, days=0.75, seed=7)
             sub.add_argument(
                 "--campaign",
@@ -506,3 +589,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - thin __main__ shim
+    raise SystemExit(main())

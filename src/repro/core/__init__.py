@@ -18,8 +18,6 @@ The pieces map one-to-one onto the architecture of Figure 1:
   directory-routed queries, replication and failover.
 """
 
-from repro.core.config import FederationConfig, PrestoConfig
-from repro.core.queries import AnswerSource, QueryAnswer
 from repro.core.cache import (
     CacheEntry,
     CacheSnapshot,
@@ -27,25 +25,32 @@ from repro.core.cache import (
     ListSummaryCache,
     SummaryCache,
 )
+from repro.core.config import FederationConfig, PrestoConfig
 from repro.core.continuous import (
     ContinuousQuery,
     ContinuousQueryEngine,
     Notification,
     TriggerKind,
 )
-from repro.core.push import ModelUpdate, ProxyModelTracker, PushDecision, SensorModelChecker
-from repro.core.prediction import PredictionEngine
-from repro.core.matching import QueryProfile, QuerySensorMatcher, SensorOperatingPoint
-from repro.core.sensor import PrestoSensor
-from repro.core.proxy import PrestoProxy
-from repro.core.unified import UnifiedStore
-from repro.core.system import CellBuilder, PrestoCell, PrestoSystem, SystemReport
 from repro.core.federation import (
     FederatedCell,
     FederatedReport,
     FederatedSystem,
     partition_sensors,
 )
+from repro.core.matching import QueryProfile, QuerySensorMatcher, SensorOperatingPoint
+from repro.core.prediction import PredictionEngine
+from repro.core.proxy import PrestoProxy
+from repro.core.push import (
+    ModelUpdate,
+    ProxyModelTracker,
+    PushDecision,
+    SensorModelChecker,
+)
+from repro.core.queries import AnswerSource, QueryAnswer
+from repro.core.sensor import PrestoSensor
+from repro.core.system import CellBuilder, PrestoCell, PrestoSystem, SystemReport
+from repro.core.unified import UnifiedStore
 
 __all__ = [
     "PrestoConfig",

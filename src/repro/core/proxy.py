@@ -18,19 +18,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cache import (
+    PREDICTED_CODE,
     CacheEntry,
     CacheSnapshot,
     EntrySource,
-    PREDICTED_CODE,
     SummaryCache,
 )
-from repro.core.continuous import ContinuousQueryEngine
 from repro.core.config import PrestoConfig
+from repro.core.continuous import ContinuousQueryEngine
 from repro.core.matching import QuerySensorMatcher, SensorOperatingPoint
 from repro.core.prediction import Estimate, PredictionEngine
 from repro.core.push import ModelUpdate, ProxyModelTracker
 from repro.core.queries import AnswerSource, QueryAnswer
-from repro.core.sensor import PrestoSensor, PULL_REQUEST_BYTES
+from repro.core.sensor import PULL_REQUEST_BYTES, PrestoSensor
 from repro.energy.meter import EnergyMeter
 from repro.radio.network import Network
 from repro.radio.packet import Packet, PacketKind

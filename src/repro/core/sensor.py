@@ -21,8 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import PrestoConfig
-from repro.core.push import ModelUpdate, SensorModelChecker
 from repro.core.matching import SensorOperatingPoint
+from repro.core.push import ModelUpdate, SensorModelChecker
 from repro.energy.constants import (
     COMPRESS_CYCLES_PER_BYTE,
     MODEL_CHECK_CYCLES,
@@ -34,7 +34,11 @@ from repro.radio.mac import LplMac
 from repro.radio.network import Network
 from repro.radio.packet import Packet, PacketKind
 from repro.signal.codecs import encoded_size_bytes
-from repro.signal.compress import compress_block, compressed_size_bytes, decompress_block
+from repro.signal.compress import (
+    compress_block,
+    compressed_size_bytes,
+    decompress_block,
+)
 from repro.storage.archive import SensorArchive
 from repro.sync.clock import DriftingClock
 

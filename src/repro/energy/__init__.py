@@ -9,12 +9,12 @@ per-node :class:`~repro.energy.meter.EnergyMeter` used by every experiment.
 """
 
 from repro.energy.constants import (
+    MICA2_PROFILE,
+    TELOS_PROFILE,
     CPUConstants,
     FlashConstants,
     NodeEnergyProfile,
     RadioConstants,
-    MICA2_PROFILE,
-    TELOS_PROFILE,
 )
 from repro.energy.duty_cycle import DutyCycleConfig, lpl_average_power, lpl_check_energy
 from repro.energy.lifetime import LifetimeEstimate, lifetime_gain, project_lifetime
@@ -26,8 +26,8 @@ from repro.energy.radio_energy import (
     packet_overhead_bytes,
     packets_for_payload,
     receive_energy,
-    transmit_energy,
     transfer_energy,
+    transmit_energy,
 )
 
 __all__ = [

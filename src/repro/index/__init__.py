@@ -8,9 +8,9 @@ an interval index mapping key ranges to proxies, and the replicated cache
 directory used to place replicas of wireless proxies' caches on wired ones.
 """
 
-from repro.index.skipgraph import SkipGraph, SkipGraphNode
-from repro.index.interval import IntervalIndex, IntervalAssignment
 from repro.index.directory import CacheDirectory, ProxyDescriptor
+from repro.index.interval import IntervalAssignment, IntervalIndex
+from repro.index.skipgraph import SkipGraph, SkipGraphNode
 
 __all__ = [
     "SkipGraph",

@@ -15,10 +15,13 @@ living in one process.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any
 
 import numpy as np
+
+from repro.simulation.randomness import seeded_rng
 
 
 class SkipGraphNode:
@@ -54,7 +57,9 @@ class SkipGraph:
     """In-process skip graph with hop-counted operations."""
 
     def __init__(self, rng: np.random.Generator | None = None, max_levels: int = 32) -> None:
-        self._rng = rng or np.random.default_rng(0)
+        # explicit deterministic fallback: membership vectors (and therefore
+        # hop counts) must not depend on process state when no rng is given
+        self._rng = rng if rng is not None else seeded_rng(0)
         self.max_levels = int(max_levels)
         self._head: SkipGraphNode | None = None  # smallest-key node
         self._size = 0

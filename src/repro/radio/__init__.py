@@ -8,10 +8,10 @@ byte charges the sender's (and receiver's) energy meter through the models
 in :mod:`repro.energy`.
 """
 
-from repro.radio.packet import Packet, PacketKind
 from repro.radio.link import LinkConfig, LinkStats, LossyLink
 from repro.radio.mac import LplMac, MacStats
 from repro.radio.network import Network, NetworkNode
+from repro.radio.packet import Packet, PacketKind
 
 __all__ = [
     "Packet",

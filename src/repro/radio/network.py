@@ -9,8 +9,8 @@ and keeps fleet-level statistics for the benchmarks.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 

@@ -16,10 +16,10 @@ from repro.scenarios.library import (
     extended_scenarios,
 )
 from repro.scenarios.runner import (
+    HARNESSES,
     CampaignConfig,
     CampaignReport,
     CampaignRunner,
-    HARNESSES,
     ScenarioResult,
     SweepGrid,
 )

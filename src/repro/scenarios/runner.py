@@ -40,6 +40,7 @@ from repro.core.system import SystemReport
 from repro.radio.link import LinkConfig
 from repro.scenarios.spec import ScenarioSpec, StandingQuerySpec
 from repro.serving import ServingConfig
+from repro.simulation.randomness import seeded_rng
 from repro.sync.clock import ClockModel
 from repro.traces.events import (
     EventKind,
@@ -1032,7 +1033,7 @@ class CampaignRunner:
             if zipf_exponent is not None:
                 kwargs["zipf_exponent"] = zipf_exponent
             config = QueryWorkloadConfig(**kwargs)
-            rng = np.random.default_rng(seed)
+            rng = seeded_rng(seed)
             if shards is None:
                 return QueryWorkloadGenerator(trace.n_sensors, config, rng)
             return ShardedWorkloadGenerator(shards, config, rng)
@@ -1055,7 +1056,7 @@ class CampaignRunner:
                     zipf_exponent=workload.surge_hotspot_zipf,
                 ).generate(start, end)
                 if workload.surge_profile != "flat":
-                    thinning = np.random.default_rng(seed + 29)
+                    thinning = seeded_rng(seed + 29)
                     span = end - start
                     extra = [
                         query
@@ -1133,7 +1134,7 @@ class CampaignRunner:
             return base, self._freeze_trace(trace), events
         trace, events = inject_events(
             base,
-            np.random.default_rng(cfg.seed + 13),
+            seeded_rng(cfg.seed + 13),
             rate_per_sensor_day=spec.trace.event_rate_per_sensor_day,
             magnitude=spec.trace.event_magnitude,
             duration_epochs=spec.trace.event_duration_epochs,

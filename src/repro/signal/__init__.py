@@ -8,31 +8,31 @@ No wavelet library ships offline, so the discrete wavelet transform is
 implemented here from the standard filter banks.
 """
 
-from repro.signal.wavelets import (
-    HAAR,
-    DB4,
-    Wavelet,
-    dwt_max_level,
-    idwt_multilevel,
-    dwt_multilevel,
+from repro.signal.codecs import (
+    delta_decode,
+    delta_encode,
+    dequantize,
+    encoded_size_bytes,
+    quantize,
+    rle_decode,
+    rle_encode,
+    varint_size,
 )
-from repro.signal.denoise import denoise, estimate_noise_sigma, universal_threshold
 from repro.signal.compress import (
     CompressedBlock,
     compress_block,
-    decompress_block,
     compressed_size_bytes,
+    decompress_block,
 )
-from repro.signal.multires import MultiResolutionSummary, summarize, reconstruct
-from repro.signal.codecs import (
-    delta_encode,
-    delta_decode,
-    quantize,
-    dequantize,
-    rle_encode,
-    rle_decode,
-    varint_size,
-    encoded_size_bytes,
+from repro.signal.denoise import denoise, estimate_noise_sigma, universal_threshold
+from repro.signal.multires import MultiResolutionSummary, reconstruct, summarize
+from repro.signal.wavelets import (
+    DB4,
+    HAAR,
+    Wavelet,
+    dwt_max_level,
+    dwt_multilevel,
+    idwt_multilevel,
 )
 
 __all__ = [

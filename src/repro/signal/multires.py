@@ -17,8 +17,8 @@ import numpy as np
 from repro.signal.wavelets import (
     HAAR,
     Wavelet,
-    dwt_multilevel,
     dwt_max_level,
+    dwt_multilevel,
     idwt_multilevel,
     pad_to_pow2,
 )

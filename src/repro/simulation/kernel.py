@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Optional
 
 
 class SimulationError(RuntimeError):
@@ -61,7 +61,7 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
-    def pop(self) -> Optional[Event]:
+    def pop(self) -> Event | None:
         """Remove and return the earliest live event, or ``None`` if empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
@@ -69,7 +69,7 @@ class EventQueue:
                 return event
         return None
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         """Return the time of the earliest live event without removing it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

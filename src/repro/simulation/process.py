@@ -7,7 +7,7 @@ flushes, and :func:`delayed_call` for one-shot timers.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.simulation.kernel import Event, SimulationError, Simulator
 
@@ -39,7 +39,7 @@ class PeriodicTask:
         self._period = float(period)
         self._callback = callback
         self._start_offset = float(start_offset)
-        self._handle: Optional[Event] = None
+        self._handle: Event | None = None
         self._running = False
         self._in_fire = False
         self.fire_count = 0

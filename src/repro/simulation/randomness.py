@@ -49,3 +49,22 @@ class RandomStreams:
     def fork(self, sub_seed: int) -> "RandomStreams":
         """Derive an independent registry, e.g. one per sweep point."""
         return RandomStreams(seed=(self._seed * 1_000_003 + int(sub_seed)) & 0x7FFFFFFF)
+
+
+def seeded_rng(seed: int = 0) -> np.random.Generator:
+    """The sanctioned construction site for a standalone seeded generator.
+
+    Components that accept an optional ``rng`` parameter need a
+    deterministic default when the caller passes ``None``; a bare
+    ``np.random.default_rng(0)`` at each such site hides that decision from
+    review, so the ``no-global-rng`` lint rule (see
+    :mod:`repro.analysis.rules`) flags raw construction everywhere outside
+    this module and the CLI entry points.  Calling ``seeded_rng()`` instead
+    makes the fallback explicit and keeps every generator in the repository
+    traceable to either a :class:`RandomStreams` stream or this function.
+
+    The returned generator is ``default_rng``-compatible (PCG64) and
+    depends only on *seed* — never on process state, hash seeds or call
+    order.
+    """
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(int(seed))))

@@ -11,10 +11,10 @@ charging), the log-structured archive with its sparse time index, and the
 aging policy.
 """
 
+from repro.storage.aging import AgedSegment, AgingPolicy
+from repro.storage.archive import ArchiveRecord, SensorArchive
 from repro.storage.flash import FlashDevice, FlashStats
 from repro.storage.time_index import IndexEntry, TimeIndex
-from repro.storage.archive import ArchiveRecord, SensorArchive
-from repro.storage.aging import AgingPolicy, AgedSegment
 
 __all__ = [
     "FlashDevice",

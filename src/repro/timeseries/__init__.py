@@ -10,18 +10,13 @@ a Markov model for the temporal axis, and a multivariate Gaussian for the
 spatial axis (the BBQ[5] approach).
 """
 
-from repro.timeseries.base import (
-    FittedModel,
-    Forecast,
-    ModelSpec,
-    TimeSeriesModel,
-)
-from repro.timeseries.seasonal import SeasonalProfileModel
 from repro.timeseries.ar import ARModel, fit_ar_yule_walker
 from repro.timeseries.arima import ARIMAModel
-from repro.timeseries.markov import MarkovChainModel
+from repro.timeseries.base import FittedModel, Forecast, ModelSpec, TimeSeriesModel
 from repro.timeseries.gaussian import MultivariateGaussianModel
+from repro.timeseries.markov import MarkovChainModel
 from repro.timeseries.sarima import SeasonalArimaModel
+from repro.timeseries.seasonal import SeasonalProfileModel
 from repro.timeseries.selection import aic, bic, select_best_model
 
 __all__ = [

@@ -22,13 +22,8 @@ from collections import deque
 
 import numpy as np
 
-from repro.timeseries.base import (
-    Forecast,
-    ModelSpec,
-    TimeSeriesModel,
-    as_float_array,
-)
 from repro.timeseries.ar import fit_ar_ols
+from repro.timeseries.base import Forecast, ModelSpec, TimeSeriesModel, as_float_array
 
 
 def difference(values: np.ndarray, d: int) -> np.ndarray:

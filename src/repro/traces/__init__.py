@@ -11,8 +11,14 @@ unexpected events" the push protocol must never miss, and
 architecture-comparison benchmarks.
 """
 
-from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
 from repro.traces.events import EventKind, InjectedEvent, inject_events
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator, TraceSet
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
 from repro.traces.workload import (
     Query,
     QueryKind,
@@ -20,7 +26,6 @@ from repro.traces.workload import (
     QueryWorkloadGenerator,
     ShardedWorkloadGenerator,
 )
-from repro.traces.io import load_trace_npz, save_trace_npz, load_trace_csv, save_trace_csv
 
 __all__ = [
     "IntelLabConfig",

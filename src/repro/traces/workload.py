@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.simulation.randomness import seeded_rng
+
 
 class QueryKind(enum.Enum):
     """Query families the PRESTO proxy distinguishes."""
@@ -92,7 +94,9 @@ class QueryWorkloadGenerator:
             raise ValueError(f"need >= 1 sensor, got {n_sensors}")
         self.n_sensors = int(n_sensors)
         self.config = config or QueryWorkloadConfig()
-        self._rng = rng or np.random.default_rng(0)
+        # explicit deterministic fallback so an unseeded workload replays
+        # identically across runs (seed 0 = the library default stream)
+        self._rng = rng if rng is not None else seeded_rng(0)
         self._zipf_weights = self._make_zipf_weights()
 
     def _make_zipf_weights(self) -> np.ndarray:

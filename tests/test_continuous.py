@@ -3,13 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.cache import CacheEntry, EntrySource
-from repro.core.continuous import (
-    ContinuousQuery,
-    ContinuousQueryEngine,
-    TriggerKind,
-)
 from repro.core import PrestoConfig, PrestoSystem
+from repro.core.cache import CacheEntry, EntrySource
+from repro.core.continuous import ContinuousQuery, ContinuousQueryEngine, TriggerKind
 from repro.traces.events import inject_events
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 

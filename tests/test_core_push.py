@@ -6,7 +6,6 @@ import pytest
 from repro.core.push import (
     ModelUpdate,
     ProxyModelTracker,
-    PushDecision,
     SensorModelChecker,
     verify_replicas_in_sync,
 )

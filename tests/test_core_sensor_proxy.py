@@ -10,8 +10,8 @@ import pytest
 from repro.core.cache import EntrySource
 from repro.core.config import PrestoConfig
 from repro.core.proxy import PrestoProxy
-from repro.core.sensor import PrestoSensor
 from repro.core.queries import AnswerSource
+from repro.core.sensor import PrestoSensor
 from repro.energy.constants import MICA2_PROFILE
 from repro.energy.duty_cycle import DutyCycleConfig
 from repro.energy.meter import EnergyMeter

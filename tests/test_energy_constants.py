@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.energy.constants import (
-    MICA2_PROFILE,
-    TELOS_PROFILE,
-    MODEL_CHECK_CYCLES,
-)
+from repro.energy.constants import MICA2_PROFILE, MODEL_CHECK_CYCLES, TELOS_PROFILE
 
 
 class TestProfiles:

@@ -416,7 +416,9 @@ class TestEventsAndRecall:
 class TestBursts:
     def test_bursts_scheduled_and_degrade_delivery(self):
         runner = CampaignRunner(small_config())
-        clean = runner.run_one(ScenarioSpec(name="clean", radio=RadioRegime(loss_probability=0.0)), "single")
+        clean = runner.run_one(
+            ScenarioSpec(name="clean", radio=RadioRegime(loss_probability=0.0)), "single"
+        )
         bursty = runner.run_one(
             ScenarioSpec(
                 name="bursty",

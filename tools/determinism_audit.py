@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Standalone double-run determinism audit (CI entry point).
+
+Runs one pinned smoke-scale scenario in child interpreters under two
+``PYTHONHASHSEED`` values and serial vs ``--jobs 2``, and fails unless the
+canonically-serialized reports are byte-identical.  Equivalent to
+``repro lint --runtime`` without the static pass; see
+:mod:`repro.analysis.runtime` and ``docs/analysis.md``.
+
+Usage::
+
+    PYTHONPATH=src python tools/determinism_audit.py [--scenario NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# allow running from a fresh checkout without PYTHONPATH gymnastics
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.runtime import DEFAULT_SCENARIO, run_audit  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        default=DEFAULT_SCENARIO,
+        help="campaign scenario to replay (smoke scale)",
+    )
+    args = parser.parse_args(argv)
+    result = run_audit(scenario=args.scenario)
+    print(result.describe())
+    return 0 if result.identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
