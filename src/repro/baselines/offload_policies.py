@@ -1,0 +1,125 @@
+"""Storage-policy strategies: local aging vs collaborative offload.
+
+A trace-driven comparison in the :mod:`repro.baselines.strategies` mould:
+feed one generated trace into a fleet of :class:`SensorArchive`\\ s under
+each storage policy and measure what survives.  No proxy, no queries, no
+DES — just the archive/flash/offload substrate under pure storage
+pressure, so the policies' intrinsic trade-off (radio joules spent moving
+segments vs information destroyed by aging and eviction) is visible
+without workload noise.  The full-system counterpart is the
+``offload_vs_aging`` scenario (:mod:`repro.scenarios.library`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.constants import MICA2_PROFILE, NodeEnergyProfile
+from repro.energy.meter import EnergyMeter
+from repro.storage.aging import AgingPolicy
+from repro.storage.archive import SensorArchive
+from repro.storage.flash import FlashDevice
+from repro.storage.offload import (
+    STORAGE_POLICIES,
+    OffloadCoordinator,
+    fleet_fidelity,
+)
+from repro.traces.intel_lab import TraceSet
+
+
+@dataclass(frozen=True)
+class OffloadStrategyResult:
+    """One storage policy's outcome on one trace at one flash sizing."""
+
+    policy: str
+    flash_capacity_bytes: int
+    n_sensors: int
+    fidelity_retained: float
+    energy_j: float
+    segments_offloaded: int
+    remote_hosted_segments: int
+    aged_segments: int
+    evictions: int
+
+    @property
+    def fidelity_per_joule_per_flash_byte(self) -> float:
+        """The offload-vs-aging headline metric (NaN when degenerate)."""
+        denominator = self.energy_j * self.flash_capacity_bytes * self.n_sensors
+        if denominator <= 0:
+            return float("nan")
+        return self.fidelity_retained / denominator
+
+
+def storage_policy_sweep(
+    trace: TraceSet,
+    flash_capacity_bytes: int,
+    segment_readings: int = 128,
+    aging_max_level: int = 4,
+    policies: tuple[str, ...] = STORAGE_POLICIES,
+    profile: NodeEnergyProfile = MICA2_PROFILE,
+) -> list[OffloadStrategyResult]:
+    """Run every storage policy over *trace* at one flash sizing.
+
+    Each sensor of the trace gets its own metered flash + archive; under
+    the offload policies all archives of the fleet register with one
+    coordinator (the trace is one cell).  Readings replay in epoch order —
+    exactly the order the DES feeds them — so results are deterministic
+    and comparable across policies.
+    """
+    results: list[OffloadStrategyResult] = []
+    for policy in policies:
+        meters = [EnergyMeter(f"sensor{i}") for i in range(trace.n_sensors)]
+        archives = [
+            SensorArchive(
+                FlashDevice(
+                    profile.flash, meters[i], capacity_bytes=flash_capacity_bytes
+                ),
+                segment_readings=segment_readings,
+                aging_policy=AgingPolicy(max_level=aging_max_level),
+                sample_period_s=trace.config.epoch_s,
+            )
+            for i in range(trace.n_sensors)
+        ]
+        coordinator = None
+        if policy != "local_aging":
+            coordinator = OffloadCoordinator(policy=policy, radio=profile.radio)
+            for archive in archives:
+                coordinator.register(archive)
+        for epoch in range(trace.n_epochs):
+            timestamp = epoch * trace.config.epoch_s
+            for position, archive in enumerate(archives):
+                value = trace.values[position, epoch]
+                if not np.isnan(value):
+                    archive.append(timestamp, float(value))
+        fidelity = fleet_fidelity(archives, trace.values, trace.config.epoch_s)
+        hosted = sum(
+            1
+            for archive in archives
+            for record in archive.records.values()
+            if record.hosted_by is not None
+        )
+        results.append(
+            OffloadStrategyResult(
+                policy=policy,
+                flash_capacity_bytes=flash_capacity_bytes,
+                n_sensors=trace.n_sensors,
+                fidelity_retained=fidelity,
+                energy_j=sum(meter.total_j for meter in meters),
+                segments_offloaded=(
+                    coordinator.stats.segments_offloaded if coordinator else 0
+                ),
+                remote_hosted_segments=hosted,
+                aged_segments=sum(
+                    count
+                    for archive in archives
+                    for level, count in archive.resolution_profile().items()
+                    if level > 0
+                ),
+                evictions=sum(
+                    archive.aging_policy.evictions for archive in archives
+                ),
+            )
+        )
+    return results

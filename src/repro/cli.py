@@ -11,6 +11,7 @@ Usage::
     python -m repro scenarios  [--campaign default|smoke] [--scenario NAME]
                                [--harness both|single|federated] [--list]
                                [--sweep PARAM=START:STOP:STEPS ...]
+                               [--storage-policy POLICY]
                                [--jobs N] [--grid-csv DIR]
     python -m repro lint       [PATH ...] [--format text|json] [--runtime]
                                [--rule ID ...] [--list-rules]
@@ -25,7 +26,11 @@ cascades, wear-out and workload sweeps, and adversarially timed anomalies
 — over both harnesses and prints one consolidated report with per-fault
 replica staleness.  ``--jobs N`` fans the campaign's variant cross
 product over a process pool (``0`` = one worker per core) with identical
-results; per-variant completion streams to stderr.  ``lint`` runs the
+results; per-variant completion streams to stderr.  ``--storage-policy``
+pins every chosen scenario's archive response to flash exhaustion
+(``local_aging``, ``greedy_offload`` or ``mcf_offload``), and a
+``storage_policy`` sweep axis accepts policy names as well as their
+numeric codes.  ``lint`` runs the
 determinism analyzer (see :mod:`repro.analysis` and ``docs/analysis.md``)
 over the given paths, and with ``--runtime`` additionally replays a
 pinned scenario under different hash seeds and serial-vs-parallel jobs,
@@ -64,6 +69,7 @@ from repro.scenarios import (
     builtin_scenarios,
 )
 from repro.serving import ServingConfig
+from repro.storage.offload import STORAGE_POLICIES, storage_policy_code
 from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
 from repro.traces.workload import (
     QueryWorkloadConfig,
@@ -265,8 +271,17 @@ def _parse_sweep_axis(text: str) -> SweepAxis:
             raise ValueError(f"--sweep needs >= 1 step, got {steps}")
         values = tuple(float(v) for v in np.linspace(start, stop, steps))
     else:
-        values = tuple(float(v) for v in values_text.split(","))
+        values = tuple(
+            _parse_sweep_value(parameter, item) for item in values_text.split(",")
+        )
     return SweepAxis(parameter=parameter, values=values)
+
+
+def _parse_sweep_value(parameter: str, text: str) -> float:
+    """One sweep coordinate; storage policies go by name or numeric code."""
+    if parameter == "storage_policy" and text.strip() in STORAGE_POLICIES:
+        return storage_policy_code(text.strip())
+    return float(text)
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -312,6 +327,16 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}")
             return 2
+    if args.storage_policy is not None:
+        chosen = [
+            dataclasses.replace(
+                spec,
+                storage=dataclasses.replace(
+                    spec.storage, storage_policy=args.storage_policy
+                ),
+            )
+            for spec in chosen
+        ]
     harnesses = HARNESSES if args.harness == "both" else (args.harness,)
     try:
         if args.campaign == "smoke":
@@ -498,7 +523,15 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="PARAM=START:STOP:STEPS",
                 help="replace the chosen scenarios' sweep with this axis "
                 "(repeatable; the flags' cross product becomes the grid; "
-                "also accepts PARAM=V1,V2,...)",
+                "also accepts PARAM=V1,V2,... — storage_policy values may "
+                "be policy names)",
+            )
+            sub.add_argument(
+                "--storage-policy",
+                default=None,
+                choices=STORAGE_POLICIES,
+                help="pin every chosen scenario's response to full flash "
+                "(default: each spec's own storage policy)",
             )
             sub.add_argument(
                 "--jobs",

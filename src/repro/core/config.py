@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.energy.constants import MICA2_PROFILE, NodeEnergyProfile
 from repro.radio.link import LinkConfig
+from repro.storage.offload import STORAGE_POLICIES
 
 
 @dataclass(frozen=True)
@@ -38,8 +39,10 @@ class PrestoConfig:
 
     # archive
     flash_capacity_bytes: int | None = None   # None = device default
+    flash_capacity_skew: float = 0.0          # +-fraction, alternating per sensor
     segment_readings: int = 128
     aging_max_level: int = 4
+    storage_policy: str = "local_aging"       # local_aging | greedy_offload | mcf_offload
 
     # proxy cache & extrapolation
     cache_entries_per_sensor: int = 20_000
@@ -65,6 +68,13 @@ class PrestoConfig:
             raise ValueError("min training epochs must be >= 2")
         if self.batch_interval_s < 0:
             raise ValueError("batch interval must be >= 0")
+        if self.storage_policy not in STORAGE_POLICIES:
+            raise ValueError(
+                f"unknown storage policy {self.storage_policy!r}; "
+                f"expected one of {STORAGE_POLICIES}"
+            )
+        if not 0.0 <= self.flash_capacity_skew < 1.0:
+            raise ValueError("flash capacity skew must be in [0, 1)")
 
 
 #: recognised sensor-to-proxy sharding policies

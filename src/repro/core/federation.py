@@ -854,6 +854,16 @@ class FederatedSystem(_RoutingCore):
             archive_worst_level=max(
                 (r.archive_worst_level for r in cell_reports), default=0
             ),
+            segments_offloaded=sum(r.segments_offloaded for r in cell_reports),
+            offload_bytes=sum(r.offload_bytes for r in cell_reports),
+            remote_reads=sum(r.remote_reads for r in cell_reports),
+            # Sensor-count-weighted mean: cells score their own sensors'
+            # readings, which are (near-)uniform across the fleet.
+            archive_fidelity_retained=(
+                sum(r.archive_fidelity_retained * r.n_sensors for r in cell_reports)
+                / max(1, sum(r.n_sensors for r in cell_reports))
+            ),
+            flash_capacity_bytes=sum(r.flash_capacity_bytes for r in cell_reports),
             n_proxies=self.federation.n_proxies,
             shard_policy=self.federation.shard_policy,
             replication_factor=self.federation.replication_factor,

@@ -30,6 +30,7 @@ from repro.simulation.randomness import RandomStreams
 from repro.storage.aging import AgingPolicy
 from repro.storage.archive import SensorArchive
 from repro.storage.flash import FlashDevice
+from repro.storage.offload import OffloadCoordinator, fleet_fidelity
 from repro.sync.clock import ClockModel, DriftingClock
 from repro.traces.intel_lab import TraceSet
 from repro.traces.workload import Query, QueryKind
@@ -94,6 +95,17 @@ class SystemReport:
     archive_aged_segments: int = 0
     #: worst (highest) resolution level any archived segment reached
     archive_worst_level: int = 0
+    #: segments shipped to a neighbour's flash by the offload coordinator
+    segments_offloaded: int = 0
+    #: payload bytes those offload moves carried over the radio
+    offload_bytes: int = 0
+    #: proxy cache-miss pulls served from a remote host's flash
+    remote_reads: int = 0
+    #: per-reading retention score of the fleet's archives vs ground truth
+    #: (1.0 = every reading ever taken still recoverable at full fidelity)
+    archive_fidelity_retained: float = 1.0
+    #: total flash capacity across the sensor fleet (device bytes summed)
+    flash_capacity_bytes: int = 0
 
     # -- derived metrics ---------------------------------------------------
 
@@ -190,6 +202,9 @@ class SystemReport:
             "cache_evictions": float(self.cache_evictions),
             "archive_aged_segments": float(self.archive_aged_segments),
             "archive_worst_level": float(self.archive_worst_level),
+            "archive_fidelity_retained": float(self.archive_fidelity_retained),
+            "segments_offloaded": float(self.segments_offloaded),
+            "remote_reads": float(self.remote_reads),
         }
 
 
@@ -259,7 +274,7 @@ class PrestoCell:
             flash = FlashDevice(
                 config.node_profile.flash,
                 meter,
-                capacity_bytes=config.flash_capacity_bytes,
+                capacity_bytes=self._sensor_capacity_bytes(config, sensor_id),
             )
             archive = SensorArchive(
                 flash,
@@ -281,9 +296,34 @@ class PrestoCell:
             node.on_receive = sensor.handle_packet
             self.sensors.append(sensor)
             self.proxy.register_sensor(sensor)
+        self.offload: OffloadCoordinator | None = None
+        if config.storage_policy != "local_aging":
+            self.offload = OffloadCoordinator(
+                policy=config.storage_policy,
+                radio=config.node_profile.radio,
+                now_fn=lambda: self.sim.now,
+            )
+            for sensor in self.sensors:
+                self.offload.register(sensor.archive)
         self._epoch = 0
         self._query_log: list[tuple[Query, QueryAnswer]] = []
         self._tasks: list[PeriodicTask] = []
+
+    @staticmethod
+    def _sensor_capacity_bytes(config: PrestoConfig, sensor_id: int) -> int | None:
+        """Per-sensor flash sizing under ``flash_capacity_skew``.
+
+        Zero skew keeps the uniform configured capacity.  A skew of *s*
+        alternates sensors between ``(1 - s)`` and ``(1 + s)`` of the
+        nominal capacity — a heterogeneous fleet whose total flash equals
+        the uniform one's, which is what makes collaborative offload a fair
+        comparison against purely local aging.
+        """
+        if config.flash_capacity_skew == 0.0:
+            return config.flash_capacity_bytes
+        nominal = config.flash_capacity_bytes or config.node_profile.flash.capacity_bytes
+        factor = 1.0 + (config.flash_capacity_skew if sensor_id % 2 else -config.flash_capacity_skew)
+        return max(config.node_profile.flash.page_bytes, int(round(nominal * factor)))
 
     # -- simulation activities ----------------------------------------------------
 
@@ -379,6 +419,14 @@ class PrestoCell:
                 if level > 0:
                     aged_segments += count
                     worst_level = max(worst_level, level)
+        fidelity = fleet_fidelity(
+            [sensor.archive for sensor in self.sensors],
+            self.trace.values,
+            self.trace.config.epoch_s,
+        )
+        capacity_bytes = sum(
+            sensor.archive.flash.capacity_bytes for sensor in self.sensors
+        )
         return SystemReport(
             duration_s=horizon,
             n_sensors=len(self.sensors),
@@ -402,6 +450,11 @@ class PrestoCell:
             cache_evictions=self.proxy.cache.evictions,
             archive_aged_segments=aged_segments,
             archive_worst_level=worst_level,
+            segments_offloaded=self.offload.stats.segments_offloaded if self.offload else 0,
+            offload_bytes=self.offload.stats.bytes_offloaded if self.offload else 0,
+            remote_reads=self.offload.stats.remote_reads if self.offload else 0,
+            archive_fidelity_retained=fidelity,
+            flash_capacity_bytes=capacity_bytes,
         )
 
 

@@ -36,6 +36,11 @@ WEAR_OUT_CAPACITIES = (320 * 264, 80 * 264, 20 * 264)
 #: cross product charts whether retransmission pressure moves the aging knee
 WEAR_OUT_LOSSES = (0.05, 0.45)
 
+#: the offload-vs-aging grid's capacity axis: ample (no policy should ever
+#: move a segment) and dying — the tightest wear-out point, where the
+#: storage-policy choice actually changes outcomes
+OFFLOAD_CAPACITIES = (320 * 264, 20 * 264)
+
 #: replica-sync cadences for the staleness knee, ascending cost savings.
 #: Deliberately not divisors of typical death times, so the staleness at a
 #: mid-run failure is a non-trivial remainder at every scale.
@@ -187,6 +192,25 @@ def builtin_scenarios() -> dict[str, ScenarioSpec]:
                     proxy_index=-1,
                     at_fraction=STALENESS_DEATH_FRACTION,
                     action="fail",
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="offload_vs_aging",
+            description=(
+                "storage policies x starved flash on a capacity-skewed fleet: "
+                "fidelity retained per joule per flash byte, local aging vs "
+                "collaborative offload"
+            ),
+            # Alternate sensors between 0.5x and 1.5x of the swept nominal
+            # capacity (same fleet total): heterogeneous pressure is where
+            # collaborative storage can beat purely local aging.
+            storage=StoragePressure(capacity_skew=0.5),
+            sweep=(
+                SweepAxis(parameter="storage_policy", values=(1.0, 2.0, 3.0)),
+                SweepAxis(
+                    parameter="flash_capacity_bytes",
+                    values=OFFLOAD_CAPACITIES,
                 ),
             ),
         ),

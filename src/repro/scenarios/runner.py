@@ -41,6 +41,7 @@ from repro.radio.link import LinkConfig
 from repro.scenarios.spec import ScenarioSpec, StandingQuerySpec
 from repro.serving import ServingConfig
 from repro.simulation.randomness import seeded_rng
+from repro.storage.offload import storage_policy_name
 from repro.sync.clock import ClockModel
 from repro.traces.events import (
     EventKind,
@@ -74,6 +75,7 @@ SWEEP_LABELS = {
     "zipf_s": "zipf",
     "memo_ttl_s": "memo",
     "partitions": "parts",
+    "storage_policy": "policy",
 }
 
 
@@ -175,6 +177,19 @@ class ScenarioResult:
         suffix = f" [{self.variant}]" if self.variant else ""
         return f"{self.scenario}/{self.harness}{suffix}"
 
+    @staticmethod
+    def _fidelity_efficiency(report) -> float:
+        """Fidelity retained per sensor joule per byte of fleet flash.
+
+        The ``offload_vs_aging`` grid metric: how much recoverable history
+        each unit of energy and flash bought.  NaN when the run recorded no
+        energy or no flash sizing (nothing meaningful to normalise by).
+        """
+        denominator = report.sensor_energy_j * report.flash_capacity_bytes
+        if denominator <= 0:
+            return float("nan")
+        return float(report.archive_fidelity_retained) / denominator
+
     def row(self) -> dict[str, float | str | dict[str, float]]:
         """Flat metrics row for tables and JSON."""
         report = self.report
@@ -194,6 +209,10 @@ class ScenarioResult:
             "events_injected": float(self.events_injected),
             "worst_notification_latency_s": self.worst_notification_latency_s,
             "aged_segments": float(report.archive_aged_segments),
+            "segments_offloaded": float(report.segments_offloaded),
+            "remote_reads": float(report.remote_reads),
+            "fidelity_retained": float(report.archive_fidelity_retained),
+            "fidelity_per_joule_per_flash_byte": self._fidelity_efficiency(report),
             "wall_clock_s": self.wall_clock_s,
         }
         failovers = getattr(report, "failovers", None)
@@ -256,7 +275,17 @@ class SweepGrid:
         )
         stub = self.y_parameter
         columns = [f"{value:g}" for value in self.x_values]
-        width = max(8, *(len(label) for label in columns)) + 2
+        finite = [
+            cell
+            for row in self.cells
+            for cell in row
+            if cell is not None and math.isfinite(cell) and cell != 0.0
+        ]
+        # Metrics living below the fixed-point resolution (e.g. fidelity
+        # per joule per flash byte, ~1e-6) render in scientific notation.
+        tiny = bool(finite) and max(abs(cell) for cell in finite) < 1e-3
+        fmt = "{:.3e}" if tiny else "{:.3f}"
+        width = max(8, *(len(label) for label in columns), 9 if tiny else 0) + 2
         stub_width = max(len(stub), *(len(f"{v:g}") for v in self.y_values))
         lines = [
             title,
@@ -265,7 +294,7 @@ class SweepGrid:
         ]
         for y_value, row in zip(self.y_values, self.cells):
             rendered = [
-                "-" if cell is None else f"{cell:.3f}" for cell in row
+                "-" if cell is None else fmt.format(cell) for cell in row
             ]
             lines.append(
                 f"{y_value:<{stub_width}g}"
@@ -835,6 +864,11 @@ class CampaignRunner:
                     spec.federation, partitions=int(value)
                 )
                 spec = dataclasses.replace(spec, federation=federation)
+            elif parameter == "storage_policy":
+                storage = dataclasses.replace(
+                    spec.storage, storage_policy=storage_policy_name(value)
+                )
+                spec = dataclasses.replace(spec, storage=storage)
             else:
                 # Unreachable while this chain covers spec.SWEEP_PARAMETERS;
                 # raising keeps a new parameter added there from silently
@@ -1171,8 +1205,10 @@ class CampaignRunner:
                 1e12 if duty_cycle_point is not None else 3_600.0
             ),
             flash_capacity_bytes=spec.storage.flash_capacity_bytes,
+            flash_capacity_skew=spec.storage.capacity_skew,
             segment_readings=spec.storage.segment_readings,
             aging_max_level=spec.storage.aging_max_level,
+            storage_policy=spec.storage.storage_policy,
         )
 
     def _schedule_faults(self, spec: ScenarioSpec, system: FederatedSystem) -> int:

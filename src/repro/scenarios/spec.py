@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.continuous import TriggerKind
+from repro.storage.offload import STORAGE_POLICIES
 
 
 @dataclass(frozen=True)
@@ -96,19 +97,28 @@ class RadioRegime:
 
 @dataclass(frozen=True)
 class StoragePressure:
-    """Sensor-side flash sizing and aging aggressiveness."""
+    """Sensor-side flash sizing, aging aggressiveness and offload policy."""
 
     flash_capacity_bytes: int | None = None   # None = device default (ample)
+    capacity_skew: float = 0.0                # +-fraction, alternating per sensor
     segment_readings: int = 128
     aging_max_level: int = 4
+    storage_policy: str = "local_aging"       # local_aging | greedy_offload | mcf_offload
 
     def __post_init__(self) -> None:
         if self.flash_capacity_bytes is not None and self.flash_capacity_bytes <= 0:
             raise ValueError("flash capacity must be positive")
+        if not 0.0 <= self.capacity_skew < 1.0:
+            raise ValueError("capacity skew must be in [0, 1)")
         if self.segment_readings < 1:
             raise ValueError("segment readings must be >= 1")
         if self.aging_max_level < 1:
             raise ValueError("aging max level must be >= 1")
+        if self.storage_policy not in STORAGE_POLICIES:
+            raise ValueError(
+                f"unknown storage policy {self.storage_policy!r}; "
+                f"expected one of {STORAGE_POLICIES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -293,6 +303,7 @@ SWEEP_PARAMETERS = (
     "zipf_s",
     "memo_ttl_s",
     "partitions",
+    "storage_policy",
 )
 
 
@@ -363,6 +374,16 @@ class SweepAxis:
             raise ValueError(
                 f"partition sweep values must be whole counts >= 1, "
                 f"got {self.values}"
+            )
+        if self.parameter == "storage_policy" and any(
+            float(value) != int(value) or not 1 <= value <= len(STORAGE_POLICIES)
+            for value in self.values
+        ):
+            raise ValueError(
+                f"storage-policy sweep values must be whole codes in "
+                f"[1, {len(STORAGE_POLICIES)}] "
+                f"(1={STORAGE_POLICIES[0]} .. {len(STORAGE_POLICIES)}="
+                f"{STORAGE_POLICIES[-1]}), got {self.values}"
             )
 
 

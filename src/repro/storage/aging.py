@@ -62,6 +62,8 @@ class AgingPolicy:
     def _oldest_coarsenable(self, archive: "SensorArchive"):
         for entry in archive.index.entries():
             record = archive.records[entry.record_id]
+            if record.hosted_by is not None:
+                continue  # offloaded segments live on another node's flash
             if record.level < self.max_level and record.n_readings >= 2:
                 if record.stored_bytes() >= 2 * archive.flash.constants.page_bytes or \
                         record.level == 0:
@@ -84,25 +86,37 @@ class AgingPolicy:
         old_level = record.level
         record.raw = None
         record.summary = summary
-        archive.flash.free(old_pages - new_pages)
-        record.pages = new_pages
+        # Re-programming the summary is a real flash write: release the whole
+        # old allocation, then program the new one so pages_written /
+        # bytes_written and write energy cover every aging step.  The write
+        # cannot fail — new_pages < old_pages just freed.
+        archive.flash.free(old_pages)
+        record.pages = archive.flash.write(new_bytes)
         self.history.append(
             AgedSegment(
                 record_id=record.record_id,
                 old_level=old_level,
                 new_level=summary.level,
-                pages_freed=old_pages - new_pages,
+                pages_freed=old_pages - record.pages,
             )
         )
         return True
 
     def _evict_oldest(self, archive: "SensorArchive") -> bool:
-        entry = archive.index.oldest()
+        # Prefer evicting the oldest *locally stored* segment — evicting an
+        # offloaded one frees another node's flash, not ours.
+        entry = None
+        for candidate in archive.index.entries():
+            if archive.records[candidate.record_id].hosted_by is None:
+                entry = candidate
+                break
+        if entry is None:
+            entry = archive.index.oldest()
         if entry is None:
             return False
         record = archive.records.pop(entry.record_id)
         archive.index.remove(entry.record_id)
-        archive.flash.free(record.pages)
+        archive.release_record(record)
         self.evictions += 1
         return True
 

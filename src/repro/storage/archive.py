@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.signal.multires import MultiResolutionSummary, reconstruct
 from repro.storage.flash import FlashDevice
 from repro.storage.time_index import IndexEntry, TimeIndex
+
+if TYPE_CHECKING:  # offload imports archive; annotate lazily to avoid the cycle
+    from repro.storage.offload import OffloadCoordinator
 
 #: bytes per stored reading: 4-byte timestamp delta + 4-byte value
 BYTES_PER_READING = 8
@@ -35,6 +39,7 @@ class ArchiveRecord:
     raw: np.ndarray | None            # None once aged
     summary: MultiResolutionSummary | None = None
     pages: int = 0
+    hosted_by: int | None = None      # offload host's cell-local index, None = local
 
     @property
     def aged(self) -> bool:
@@ -102,6 +107,9 @@ class SensorArchive:
 
             aging_policy = AgingPolicy()
         self.aging_policy = aging_policy
+        # Set by OffloadCoordinator.register(); when present, full flushes
+        # try collaborative offload before degrading data with aging.
+        self.offload: "OffloadCoordinator | None" = None
 
     # -- writes -----------------------------------------------------------
 
@@ -150,11 +158,15 @@ class SensorArchive:
         return record
 
     def _write_with_aging(self, n_bytes: int) -> int | None:
-        """Write, invoking the aging policy until the bytes fit."""
+        """Write, offloading then aging until the bytes fit."""
         for _ in range(len(self.records) + 2):
             try:
                 return self.flash.write(n_bytes)
             except IOError:
+                # Collaborative offload first — it frees local pages without
+                # degrading data; aging is the purely local fallback.
+                if self.offload is not None and self.offload.make_room(self):
+                    continue
                 if not self.aging_policy.make_room(self):
                     return None
         return None
@@ -171,7 +183,7 @@ class SensorArchive:
         if entry is None:
             return None
         record = self.records[entry.record_id]
-        self.flash.read(record.stored_bytes())
+        self._charge_read(record)
         values = record.values()
         offset = int(round((timestamp - record.start_time) / record.sample_period_s))
         offset = min(max(offset, 0), values.size - 1)
@@ -191,7 +203,7 @@ class SensorArchive:
         worst_level = 0
         for entry in entries:
             record = self.records[entry.record_id]
-            self.flash.read(record.stored_bytes())
+            self._charge_read(record)
             times = record.timestamps()
             values = record.values()
             mask = (times >= start) & (times <= end)
@@ -201,6 +213,20 @@ class SensorArchive:
         if not all_times:
             return np.zeros(0), np.zeros(0), 0
         return np.concatenate(all_times), np.concatenate(all_values), worst_level
+
+    def _charge_read(self, record: ArchiveRecord) -> None:
+        """Charge one segment access on whichever device holds it."""
+        if record.hosted_by is not None and self.offload is not None:
+            self.offload.remote_read(self, record)
+        else:
+            self.flash.read(record.stored_bytes())
+
+    def release_record(self, record: ArchiveRecord) -> None:
+        """Free a record's pages on whichever device holds them."""
+        if record.hosted_by is not None and self.offload is not None:
+            self.offload.release(self, record)
+        else:
+            self.flash.free(record.pages)
 
     def read_bytes_for_range(self, start: float, end: float) -> int:
         """Stored bytes that a range pull would transfer (before paging)."""
@@ -213,6 +239,11 @@ class SensorArchive:
     def n_segments(self) -> int:
         """Number of stored segments."""
         return len(self.records)
+
+    @property
+    def buffered_readings(self) -> int:
+        """Readings accumulated in RAM but not yet flushed."""
+        return len(self._buffer_values)
 
     @property
     def coverage(self) -> tuple[float, float] | None:

@@ -66,6 +66,18 @@ class TestFlashDevice:
         assert flash.stats.pages_read == 2
         assert flash.stats.blocks_erased == 1
 
+    def test_free_rounds_partial_blocks_up_to_whole_erases(self, flash, meter):
+        # pages_per_block = 8: freeing 1 page erases 1 block, freeing 9
+        # erases 2 — partial blocks always round up, as on the real part.
+        flash.write(10 * MICA2_FLASH.page_bytes)
+        flash.free(1)
+        assert flash.stats.blocks_erased == 1
+        flash.free(9)
+        assert flash.stats.blocks_erased == 3
+        assert meter.category_j("flash.erase") == pytest.approx(
+            3 * MICA2_FLASH.erase_block_energy_j
+        )
+
     def test_latency_helpers(self, flash):
         assert flash.write_time_s(600) == pytest.approx(
             3 * MICA2_FLASH.write_page_time_s

@@ -63,6 +63,7 @@ BUILTIN_NAMES = (
     "adversarial timing",
     "wearout_vs_loss_grid",
     "staleness_vs_sync",
+    "offload_vs_aging",
 )
 
 
@@ -627,6 +628,20 @@ class TestSweeps:
         assert CampaignRunner._apply_sweep(
             surge, {"surge_multiplier": 4.0}
         ).workload.surge_multiplier == 4.0
+
+        policy = dataclasses.replace(
+            base, sweep=SweepAxis(parameter="storage_policy", values=(2.0,))
+        )
+        assert CampaignRunner._apply_sweep(
+            policy, {"storage_policy": 2.0}
+        ).storage.storage_policy == "greedy_offload"
+
+    def test_storage_policy_axis_validates_codes(self):
+        SweepAxis(parameter="storage_policy", values=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            SweepAxis(parameter="storage_policy", values=(1.5,))
+        with pytest.raises(ValueError):
+            SweepAxis(parameter="storage_policy", values=(4.0,))
 
     def test_apply_sweep_pins_both_axes_of_a_grid_point(self):
         base = ScenarioSpec(

@@ -98,6 +98,49 @@ class TestFrontend:
         assert report.unserved > 0
         assert report.achieved_qps < report.offered_qps
 
+    def test_unserved_queries_excluded_from_latency_stats(self):
+        # Sensor 1 is never served; sensor 0 pays a 5 s backend answer.
+        # Every *served* query therefore takes >= 5 s — if the unserved
+        # queries' queue-only completion times leaked into the percentiles
+        # (the old behaviour), p50 would collapse well below that.
+        n_sensors = 2
+        segments = BackendSegments(
+            starts=np.array([0.0]),
+            latencies=np.array([[5.0, 5.0]]),
+            served=np.array([[True, False]]),
+        )
+        config = ServingConfig(
+            offered_qps=100.0, duration_s=60.0, zipf_s=0.0, memo_ttl_s=0.0
+        )
+        report = make_frontend(config, n_sensors=n_sensors, segments=segments).run(
+            3600.0
+        )
+        assert report.unserved > 0
+        assert report.p50_latency_s >= 5.0
+        assert report.mean_latency_s >= 5.0
+
+    def test_all_unserved_yields_nan_latency_stats(self):
+        n_sensors = 2
+        segments = BackendSegments(
+            starts=np.array([0.0]),
+            latencies=np.full((1, n_sensors), 0.1),
+            served=np.zeros((1, n_sensors), dtype=bool),
+        )
+        config = ServingConfig(offered_qps=50.0, duration_s=60.0, memo_ttl_s=0.0)
+        report = make_frontend(config, n_sensors=n_sensors, segments=segments).run(
+            3600.0
+        )
+        assert report.n_queries > 0
+        assert report.unserved == report.n_queries
+        assert report.achieved_qps == 0.0
+        for value in (
+            report.p50_latency_s,
+            report.p95_latency_s,
+            report.p99_latency_s,
+            report.mean_latency_s,
+        ):
+            assert np.isnan(value)
+
     def test_fault_segment_changes_latency(self):
         n_sensors = 2
         segments = BackendSegments(
