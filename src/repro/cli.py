@@ -8,6 +8,8 @@ Usage::
     python -m repro models     [--days D]
     python -m repro federation [--proxies P] [--shard-policy POLICY]
                                [--replication-factor R] [--kill-proxy NAME]
+                               [--replica-coding full|rs] [--coding-k K]
+                               [--coding-n N]
     python -m repro scenarios  [--campaign default|smoke] [--scenario NAME]
                                [--harness both|single|federated] [--list]
                                [--sweep PARAM=START:STOP:STEPS ...]
@@ -59,7 +61,7 @@ from repro.baselines.strategies import (
     figure2_trace_config,
 )
 from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
-from repro.core.config import PARTITION_BACKENDS, SHARD_POLICIES
+from repro.core.config import PARTITION_BACKENDS, REPLICA_CODINGS, SHARD_POLICIES
 from repro.scenarios import (
     HARNESSES,
     CampaignConfig,
@@ -202,6 +204,9 @@ def cmd_federation(args: argparse.Namespace) -> int:
             n_proxies=args.proxies,
             shard_policy=args.shard_policy,
             replication_factor=args.replication_factor,
+            replica_coding=args.replica_coding,
+            coding_k=args.coding_k,
+            coding_n=args.coding_n,
             partitions=args.partitions,
             partition_backend=args.partition_backend,
         )
@@ -573,6 +578,28 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=1,
                 help="wired replicas per wireless proxy",
+            )
+            sub.add_argument(
+                "--replica-coding",
+                default="full",
+                choices=REPLICA_CODINGS,
+                help="replica sync mode: whole copies or k-of-n "
+                "Reed-Solomon fragments",
+            )
+            sub.add_argument(
+                "--coding-k",
+                type=int,
+                default=4,
+                metavar="K",
+                help="data fragments per coded sync (rs mode)",
+            )
+            sub.add_argument(
+                "--coding-n",
+                type=int,
+                default=6,
+                metavar="N",
+                help="total fragments per coded sync (rs mode); any K "
+                "of N reconstruct",
             )
             sub.add_argument(
                 "--kill-proxy",

@@ -1,0 +1,34 @@
+"""Erasure-coded replica sync: GF(256) Reed-Solomon codec + fragment store."""
+
+from repro.coding.fragments import (
+    CodingCounters,
+    CodingReport,
+    FragmentStore,
+    payload_matrix,
+    serialize_payload,
+)
+from repro.coding.gf256 import gf_div, gf_inv, gf_mul, self_check
+from repro.coding.rs import (
+    MAX_FRAGMENTS,
+    IrrecoverableError,
+    encoding_matrix,
+    rs_decode,
+    rs_encode,
+)
+
+__all__ = [
+    "MAX_FRAGMENTS",
+    "CodingCounters",
+    "CodingReport",
+    "FragmentStore",
+    "IrrecoverableError",
+    "encoding_matrix",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "payload_matrix",
+    "rs_decode",
+    "rs_encode",
+    "self_check",
+    "serialize_payload",
+]

@@ -83,6 +83,30 @@ SHARD_POLICIES = ("contiguous", "round_robin", "balanced")
 #: recognised partition execution backends
 PARTITION_BACKENDS = ("auto", "inline", "process")
 
+#: recognised replica-coding modes: whole-copy replication vs k-of-n
+#: Reed-Solomon fragments (order matters — sweep codes are 1-based)
+REPLICA_CODINGS = ("full", "rs")
+
+
+def replica_coding_name(code: float) -> str:
+    """Map a numeric sweep code (1-based) to its replica-coding mode."""
+    index = int(code)
+    if float(code) != index or not 1 <= index <= len(REPLICA_CODINGS):
+        raise ValueError(
+            f"replica-coding code must be a whole number in "
+            f"[1, {len(REPLICA_CODINGS)}], got {code}"
+        )
+    return REPLICA_CODINGS[index - 1]
+
+
+def replica_coding_code(name: str) -> float:
+    """Map a replica-coding mode to its numeric sweep code (1-based)."""
+    if name not in REPLICA_CODINGS:
+        raise ValueError(
+            f"unknown replica coding {name!r}; expected one of {REPLICA_CODINGS}"
+        )
+    return float(REPLICA_CODINGS.index(name) + 1)
+
 
 @dataclass(frozen=True)
 class FederationConfig:
@@ -112,6 +136,20 @@ class FederationConfig:
     hop_latency_s: float = 0.002         # per skip-graph routing hop
     replica_sync_interval_s: float = 3_600.0
     hot_entries_per_sensor: int = 64     # cache tail replicated per sensor
+
+    # Replica coding: ``full`` ships whole snapshot copies to
+    # ``replication_factor`` hosts; ``rs`` stripes each sync payload into
+    # ``coding_n`` Reed-Solomon fragments (``coding_k`` data + parity) spread
+    # over distinct wired hosts — any ``coding_k`` surviving fragments
+    # reconstruct the snapshot, so survivability matches a replication
+    # factor of ``coding_n - coding_k + 1`` at ``coding_n / coding_k`` times
+    # the payload instead of that factor times.  ``coding_k``/``coding_n``
+    # are ignored in ``full`` mode.  With fewer than ``coding_n`` live
+    # wired hosts, fragments wrap round-robin over the pool (hosts stay
+    # maximally spread; co-hosted fragments die together).
+    replica_coding: str = "full"
+    coding_k: int = 4
+    coding_n: int = 6
 
     # Partitioned execution: ``None`` keeps every cell on one shared kernel
     # (the original harness); ``k >= 1`` splits the cells across ``k``
@@ -144,6 +182,18 @@ class FederationConfig:
             raise ValueError("replica sync interval must be positive")
         if self.hot_entries_per_sensor < 1:
             raise ValueError("must replicate at least one entry per sensor")
+        if self.replica_coding not in REPLICA_CODINGS:
+            raise ValueError(
+                f"unknown replica coding {self.replica_coding!r}; "
+                f"expected one of {REPLICA_CODINGS}"
+            )
+        if not 1 <= self.coding_k <= self.coding_n:
+            raise ValueError(
+                f"need 1 <= coding_k <= coding_n, got "
+                f"k={self.coding_k}, n={self.coding_n}"
+            )
+        if self.coding_n > 255:
+            raise ValueError("coding_n exceeds the GF(256) codec's capacity")
         if self.partitions is not None and self.partitions < 0:
             raise ValueError(
                 f"partitions must be None, 0 (per-core) or >= 1, got {self.partitions}"

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.coding import CodingCounters, CodingReport, FragmentStore, serialize_payload
 from repro.core.cache import CacheSnapshot
 from repro.core.config import FederationConfig, PrestoConfig
 from repro.core.push import ProxyModelTracker
@@ -219,6 +220,7 @@ class FederatedReport(SystemReport):
     cell_reports: list[SystemReport] = field(default_factory=list)
     n_partitions: int = 1          # simulation partitions the run executed on
     serving: ServingReport | None = None        # front-end tier, when enabled
+    coding: CodingReport | None = None          # replica-sync byte/decode ledger
 
     @property
     def mean_routing_hops(self) -> float:
@@ -263,6 +265,8 @@ class FederatedReport(SystemReport):
         )
         if self.serving is not None:
             base.update(self.serving.summary())
+        if self.coding is not None:
+            base.update(self.coding.summary())
         return base
 
 
@@ -282,18 +286,63 @@ class _RoutingCore:
 
     # -- replication ----------------------------------------------------------------
 
+    def _proxy_alive(self, name: str) -> bool:
+        """Directory liveness, in predicate form for the fragment store."""
+        return self.directory.proxy(name).alive
+
+    @property
+    def _syncs_state(self) -> bool:
+        """Whether this core has any replica state to ship on the cadence."""
+        if self._fragments is not None:
+            return bool(self.replication_plan)
+        return bool(self._replicas)
+
+    def _snapshot_owner(self, owner: str, now: float) -> dict[int, SensorReplica]:
+        """One owner's hot state at sync time (shared by both coding modes)."""
+        hot = self.federation.hot_entries_per_sensor
+        fc = self._by_name[owner]
+        snapshot: dict[int, SensorReplica] = {}
+        for local, global_id in enumerate(fc.sensor_ids):
+            tail, tracker = fc.cell.proxy.export_replica_state(local, hot)
+            if not tail and tracker is None:
+                continue
+            snapshot[global_id] = SensorReplica(
+                entries=tail, tracker=tracker, synced_at_s=now
+            )
+        return snapshot
+
     def _sync_replicas(self) -> None:
         """Ship each live wireless proxy's hot state to its wired replicas.
 
         A replica only ever holds state from *before* a failure — sync skips
         dead owners (nothing to ship) and dead hosts (nowhere to ship).
-        Each owner is snapshotted once per sync and the (immutable) snapshot
-        shared by all its replica hosts.
+        Each owner is snapshotted once per sync; in ``full`` mode the
+        (immutable) snapshot object is shared by all its replica hosts, in
+        ``rs`` mode its serialized form is striped into fragments and only
+        the live hosts' fragments are shipped.  Either way the serialized
+        payload and shipped bytes land in the coding ledger — fragment
+        bytes replace full-copy bytes in the per-sync radio/flash
+        accounting, which is the byte claim ``bench_coding`` gates.
         """
         now = self.sim.now
-        hot = self.federation.hot_entries_per_sensor
+        fed = self.federation
         for owner, hosts in self.replication_plan.items():
             if not self.directory.proxy(owner).alive:
+                continue
+            if self._fragments is not None:
+                if not self._fragments.live_slots(owner, self._proxy_alive):
+                    continue
+                snapshot = self._snapshot_owner(owner, now)
+                payload = serialize_payload(snapshot)
+                shipped, live_hosts = self._fragments.sync(
+                    owner, payload, self._proxy_alive
+                )
+                self._coding.payload_bytes += len(payload)
+                self._coding.shipped_bytes += shipped
+                self._coding.full_copy_bytes += len(payload) * min(
+                    fed.coding_n - fed.coding_k + 1, live_hosts
+                )
+                self.replica_syncs += live_hosts
                 continue
             live_replicas = [
                 self._replicas[(host, owner)]
@@ -302,32 +351,41 @@ class _RoutingCore:
             ]
             if not live_replicas:
                 continue
-            fc = self._by_name[owner]
-            snapshot: dict[int, SensorReplica] = {}
-            for local, global_id in enumerate(fc.sensor_ids):
-                tail, tracker = fc.cell.proxy.export_replica_state(local, hot)
-                if not tail and tracker is None:
-                    continue
-                snapshot[global_id] = SensorReplica(
-                    entries=tail, tracker=tracker, synced_at_s=now
-                )
+            snapshot = self._snapshot_owner(owner, now)
+            payload = serialize_payload(snapshot)
+            shipped = len(payload) * len(live_replicas)
+            self._coding.payload_bytes += len(payload)
+            self._coding.shipped_bytes += shipped
+            self._coding.full_copy_bytes += shipped
             for replica in live_replicas:
                 replica.sensors.update(snapshot)
                 replica.syncs += 1
                 self.replica_syncs += 1
 
     def _replica_staleness(self, proxy_name: str) -> float:
-        """Age of the newest entry live hosts hold for *proxy_name* now."""
+        """Age of the newest entry live hosts hold for *proxy_name* now.
+
+        In ``rs`` mode the newest entry is read off the reconstructed
+        snapshot (decodable generations merged oldest-first); while >= k
+        fragments of the latest generation survive, this equals the
+        full-copy answer for the same host liveness.
+        """
         newest = float("-inf")
-        for host in self.replication_plan.get(proxy_name, []):
-            if not self.directory.proxy(host).alive:
-                continue
-            replica = self._replicas.get((host, proxy_name))
-            if replica is None:
-                continue
-            for state in replica.sensors.values():
+        if self._fragments is not None:
+            merged = self._fragments.reconstruct(proxy_name, self._proxy_alive)
+            for state in (merged or {}).values():
                 if state.entries:
                     newest = max(newest, state.entries[-1].timestamp)
+        else:
+            for host in self.replication_plan.get(proxy_name, []):
+                if not self.directory.proxy(host).alive:
+                    continue
+                replica = self._replicas.get((host, proxy_name))
+                if replica is None:
+                    continue
+                for state in replica.sensors.values():
+                    if state.entries:
+                        newest = max(newest, state.entries[-1].timestamp)
         if newest == float("-inf"):
             return float("inf")
         return max(self.sim.now - newest, 0.0)
@@ -398,9 +456,25 @@ class _RoutingCore:
                 source=AnswerSource.FAILED,
                 latency_s=base_latency,
             )
-        replica = self._replicas[(best.name, owner_name)]
+        if self._fragments is not None:
+            merged = self._fragments.reconstruct(owner_name, self._proxy_alive)
+            if merged is None:
+                # Fewer than k fragments survive in every generation: the
+                # stripe is lost and failover degrades to the unroutable
+                # path, exactly as if no replica host were left.
+                self._coding.irrecoverable += 1
+                self.unroutable += 1
+                return QueryAnswer(
+                    query=query,
+                    value=None,
+                    source=AnswerSource.FAILED,
+                    latency_s=base_latency,
+                )
+            state = merged.get(query.sensor)
+        else:
+            replica = self._replicas[(best.name, owner_name)]
+            state = replica.sensors.get(query.sensor)
         latency = base_latency + best.response_latency_s
-        state = replica.sensors.get(query.sensor)
         estimate = self._replica_estimate(state, query) if state else None
         if estimate is None:
             return QueryAnswer(
@@ -548,16 +622,30 @@ class FederatedSystem(_RoutingCore):
                 meta.name, wired=meta.wired, response_latency_s=meta.response_latency_s
             )
             self.directory.publish_cache(meta.name, set(self.shards[meta.cell_id]))
-        self.replication_plan = self.directory.plan_replication()
-        self._replicas: dict[tuple[str, str], ProxyReplica] = (
-            {
-                (host, owner): ProxyReplica(owner=owner, host=host)
-                for owner, hosts in self.replication_plan.items()
-                for host in hosts
-            }
-            if self._partitions is None
-            else {}
-        )
+        self._coding = CodingCounters()
+        if fed.replica_coding == "rs":
+            self.replication_plan = self.directory.plan_fragment_placement(
+                fed.coding_k, fed.coding_n
+            )
+            self._replicas: dict[tuple[str, str], ProxyReplica] = {}
+            # The coordinator's store covers the whole plan in legacy mode;
+            # in partitioned mode it starts empty and the inline backend
+            # absorbs the partitions' owner-local fragments at barriers.
+            self._fragments: FragmentStore | None = FragmentStore(
+                fed.coding_k, fed.coding_n, self.replication_plan
+            )
+        else:
+            self.replication_plan = self.directory.plan_replication()
+            self._fragments = None
+            self._replicas = (
+                {
+                    (host, owner): ProxyReplica(owner=owner, host=host)
+                    for owner, hosts in self.replication_plan.items()
+                    for host in hosts
+                }
+                if self._partitions is None
+                else {}
+            )
 
         # Ownership lookup: one skip-graph node per contiguous run of sensors
         # owned by the same proxy, so "who owns sensor s" is a floor search —
@@ -744,7 +832,7 @@ class FederatedSystem(_RoutingCore):
         for fc in self.cells:
             fc.cell.start_tasks()
         sync_task = None
-        if self._replicas:
+        if self._syncs_state:
             sync_task = PeriodicTask(
                 self.sim,
                 self.federation.replica_sync_interval_s,
@@ -770,6 +858,8 @@ class FederatedSystem(_RoutingCore):
             sync_task.stop()
         for fc in self.cells:
             fc.cell.finalise(horizon)
+        if self._fragments is not None:
+            self._coding.decodes = self._fragments.decodes
         return self._attach_serving(self._report(horizon), float(horizon))
 
     def _failover_errors(
@@ -879,6 +969,31 @@ class FederatedSystem(_RoutingCore):
             failover_max_error=failover_max_error,
             cell_reports=cell_reports,
             n_partitions=self.n_partitions,
+            coding=self._coding_report(),
+        )
+
+    def _coding_report(self) -> CodingReport:
+        """The run's replica-sync byte ledger, priced at the node profile.
+
+        Shipped bytes are charged once on the radio (backhaul transmit)
+        and once on the host flash (fragment/copy write) at the profile's
+        per-byte rates — so in ``rs`` mode fragment bytes replace
+        full-copy bytes in both energy terms.
+        """
+        fed = self.federation
+        profile = self.config.node_profile
+        counters = self._coding
+        return CodingReport(
+            mode=fed.replica_coding,
+            k=fed.coding_k,
+            n=fed.coding_n,
+            payload_bytes=counters.payload_bytes,
+            shipped_bytes=counters.shipped_bytes,
+            full_copy_bytes=counters.full_copy_bytes,
+            decodes=counters.decodes,
+            irrecoverable=counters.irrecoverable,
+            sync_radio_j=counters.shipped_bytes * profile.radio.tx_energy_per_byte_j,
+            sync_flash_j=counters.shipped_bytes * profile.flash.write_energy_per_byte_j,
         )
 
     # -- partitioned execution ------------------------------------------------------
@@ -977,7 +1092,7 @@ class FederatedSystem(_RoutingCore):
         instants += [at for at, _ in context.recoveries]
         interval = (
             context.federation.replica_sync_interval_s
-            if any(part._replicas for part in parts)
+            if any(part._syncs_state for part in parts)
             else None
         )
         barriers = barrier_schedule(
@@ -988,6 +1103,8 @@ class FederatedSystem(_RoutingCore):
         def absorb(_barrier: float) -> None:
             for part in parts:
                 self._replicas.update(part._replicas)
+                if self._fragments is not None and part._fragments is not None:
+                    self._fragments.absorb(part._fragments)
 
         group.run(barriers, on_barrier=absorb)
         return [part.finish() for part in parts]
@@ -1048,6 +1165,8 @@ class FederatedSystem(_RoutingCore):
         self.failovers += sum(r.failovers for r in results)
         self.unroutable += sum(r.unroutable for r in results) + len(oob)
         self.replica_syncs += sum(r.replica_syncs for r in results)
+        for result in results:
+            self._coding.absorb(result.coding)
         fault_events = sorted(
             (index, event) for result in results for index, event in result.fault_events
         )
@@ -1107,6 +1226,14 @@ class FederatedSystem(_RoutingCore):
         }
         proc = self.config.proxy_processing_s
         hop_latency = self.federation.hop_latency_s
+        # In rs mode a dead owner is only servable while >= coding_k of its
+        # fragment slots sit on live hosts (enough to decode); a whole copy
+        # needs just one live host.
+        need_hosts = (
+            self.federation.coding_k
+            if self.federation.replica_coding == "rs"
+            else 1
+        )
 
         def snapshot() -> tuple[np.ndarray, np.ndarray]:
             latency = np.empty(n, dtype=np.float64)
@@ -1124,7 +1251,7 @@ class FederatedSystem(_RoutingCore):
                     for host in self.replication_plan.get(owner, [])
                     if alive[host]
                 ]
-                if hosts:
+                if len(hosts) >= need_hosts:
                     best = min(hosts, key=lambda host: (resp[host], host))
                     latency[sensor] = base + resp[best]
                 else:
@@ -1201,6 +1328,7 @@ class _PartitionResult:
     failovers: int
     unroutable: int
     replica_syncs: int
+    coding: CodingCounters
     cell_reports: list[tuple[int, SystemReport]]
     packets: list[tuple[int, int, int]]               # (cell_id, sent, delivered)
 
@@ -1266,17 +1394,38 @@ class _CellPartition(_RoutingCore):
             self.directory.publish_cache(
                 meta.name, set(context.shards[meta.cell_id])
             )
-        full_plan = self.directory.plan_replication()
-        self.replication_plan = {
-            owner: hosts
-            for owner, hosts in full_plan.items()
-            if owner in self._by_name
-        }
-        self._replicas: dict[tuple[str, str], ProxyReplica] = {
-            (host, owner): ProxyReplica(owner=owner, host=host)
-            for owner, hosts in self.replication_plan.items()
-            for host in hosts
-        }
+        self._coding = CodingCounters()
+        fed = context.federation
+        if fed.replica_coding == "rs":
+            # Fragment placement mirrors the coordinator's plan (same
+            # directory state, same deterministic spread); each partition
+            # keeps only its *local* owners' slots — it is the one syncing
+            # and reconstructing their stripes.
+            full_plan = self.directory.plan_fragment_placement(
+                fed.coding_k, fed.coding_n
+            )
+            self.replication_plan = {
+                owner: hosts
+                for owner, hosts in full_plan.items()
+                if owner in self._by_name
+            }
+            self._replicas: dict[tuple[str, str], ProxyReplica] = {}
+            self._fragments: FragmentStore | None = FragmentStore(
+                fed.coding_k, fed.coding_n, self.replication_plan
+            )
+        else:
+            full_plan = self.directory.plan_replication()
+            self.replication_plan = {
+                owner: hosts
+                for owner, hosts in full_plan.items()
+                if owner in self._by_name
+            }
+            self._replicas = {
+                (host, owner): ProxyReplica(owner=owner, host=host)
+                for owner, hosts in self.replication_plan.items()
+                for host in hosts
+            }
+            self._fragments = None
         for name in context.initial_down:
             self.directory.mark_down(name)
 
@@ -1328,7 +1477,7 @@ class _CellPartition(_RoutingCore):
                 )
         for fc in self.cells:
             fc.cell.start_tasks()
-        if self._replicas:
+        if self._syncs_state:
             interval = context.federation.replica_sync_interval_s
             self._sync_task = PeriodicTask(
                 self.sim, interval, self._sync_replicas, start_offset=interval
@@ -1377,6 +1526,8 @@ class _CellPartition(_RoutingCore):
             (self._queries[i][0], query, answer, i in failover_set)
             for i, (query, answer) in enumerate(self._query_log)
         ]
+        if self._fragments is not None:
+            self._coding.decodes = self._fragments.decodes
         return _PartitionResult(
             log=log,
             fault_events=self._fault_events,
@@ -1385,6 +1536,7 @@ class _CellPartition(_RoutingCore):
             failovers=self.failovers,
             unroutable=self.unroutable,
             replica_syncs=self.replica_syncs,
+            coding=self._coding,
             cell_reports=[
                 (fc.cell_id, fc.cell.report(horizon)) for fc in self.cells
             ],

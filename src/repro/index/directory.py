@@ -67,25 +67,82 @@ class CacheDirectory:
         """Declare that *proxy* caches *sensors*."""
         self._proxies[proxy].cached_sensors |= set(sensors)
 
+    @staticmethod
+    def _spread_hosts(
+        wired: list[ProxyDescriptor], count: int
+    ) -> list[ProxyDescriptor]:
+        """Pick up to *count* DISTINCT wired hosts by (load, latency).
+
+        One host at a time, never the same host twice — the distinct-host
+        guarantee both whole-copy and fragment placement rely on: a host
+        that already carries one of an owner's replicas must not be chosen
+        again for the same owner (stacking copies on one host collapses
+        its failure-independence).  Runs out of hosts early when the wired
+        pool is smaller than *count* (scarce-wired deployments) instead of
+        padding with duplicates.
+        """
+        chosen: list[ProxyDescriptor] = []
+        taken: set[str] = set()
+        for _ in range(count):
+            remaining = [w for w in wired if w.name not in taken]
+            if not remaining:
+                break
+            best = min(
+                remaining,
+                key=lambda w: (len(w.replicas_of), w.response_latency_s),
+            )
+            chosen.append(best)
+            taken.add(best.name)
+        return chosen
+
     def plan_replication(self) -> dict[str, list[str]]:
         """Choose wired replicas for every wireless proxy's cache.
 
         Returns ``{wireless_proxy: [wired_replica, ...]}`` and records the
         placements.  Targets are the lowest-latency wired proxies, spreading
-        load by current replica count.
+        load by current replica count; an owner's hosts are always distinct
+        (see :meth:`_spread_hosts`), so a scarce wired pool yields fewer
+        replicas rather than two copies on one host.
         """
         wired = [p for p in self._proxies.values() if p.wired and p.alive]
         plan: dict[str, list[str]] = {}
         for proxy in self._proxies.values():
             if proxy.wired or not proxy.alive:
                 continue
-            candidates = sorted(
-                wired, key=lambda w: (len(w.replicas_of), w.response_latency_s)
-            )
-            chosen = candidates[: self.replication_factor]
+            chosen = self._spread_hosts(wired, self.replication_factor)
             for target in chosen:
                 target.replicas_of.add(proxy.name)
             plan[proxy.name] = [target.name for target in chosen]
+        return plan
+
+    def plan_fragment_placement(self, k: int, n: int) -> dict[str, list[str]]:
+        """Place n erasure-coded fragment slots per wireless owner.
+
+        Returns ``{wireless_proxy: [host_of_fragment_0, ...]}`` — entry i
+        is the wired host storing fragment i of each sync generation.
+        Hosts are distinct while the live wired pool allows (inheriting
+        :meth:`plan_replication`'s distinct-host guarantee); with fewer
+        than n live wired hosts the assignment wraps round-robin, so no
+        host takes a second fragment before every host holds one.
+        Placements are recorded in ``replicas_of`` exactly like whole
+        copies, so :meth:`serving_candidates` / :meth:`best_server`
+        resolve coded failover unchanged.
+        """
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        wired = [p for p in self._proxies.values() if p.wired and p.alive]
+        plan: dict[str, list[str]] = {}
+        for proxy in self._proxies.values():
+            if proxy.wired or not proxy.alive:
+                continue
+            if not wired:
+                plan[proxy.name] = []
+                continue
+            spread = self._spread_hosts(wired, min(n, len(wired)))
+            assignment = [spread[i % len(spread)] for i in range(n)]
+            for target in spread:
+                target.replicas_of.add(proxy.name)
+            plan[proxy.name] = [target.name for target in assignment]
         return plan
 
     def serving_candidates(self, sensor: int) -> list[ProxyDescriptor]:

@@ -227,13 +227,24 @@ SERVING_QPS_POINTS = (60.0, 240.0, 960.0)
 SERVING_ZIPF_POINTS = (0.6, 1.1)
 
 
+#: stripe widths for the coded-failover grid at a pinned k=2: n=3 buys one
+#: parity fragment of survivability at 1.5x payload (vs 2x for a full
+#: second copy); n=2 is the no-parity baseline (same bytes as one copy)
+CODING_N_POINTS = (3.0, 2.0)
+
+#: pinned data-fragment count for the coded scenarios — small enough that
+#: the default campaign's wired pool can host every fragment distinctly
+CODED_K = 2
+
+
 def extended_scenarios() -> dict[str, ScenarioSpec]:
     """Name → spec for scenarios beyond the pinned built-in set.
 
     These are *not* part of :func:`builtin_scenarios` (whose names, order
     and count are drift-gated API in ``BENCH_scenarios.json``); they run
     on request via ``--scenario`` or through their own benchmarks
-    (``bench_serving.py`` owns the saturation grid).
+    (``bench_serving.py`` owns the saturation grid, ``bench_coding.py``
+    the replica-coding rows).
     """
     scenarios = (
         ScenarioSpec(
@@ -263,6 +274,46 @@ def extended_scenarios() -> dict[str, ScenarioSpec]:
                     ProxyFault(proxy_index=-2, at_fraction=0.6, action="fail"),
                 ),
                 align_to_bursts=True,
+            ),
+        ),
+        ScenarioSpec(
+            name="coded_failover",
+            description="replica coding x stripe width under the cascading "
+            "failures fault schedule — coded sync bytes vs failover fidelity",
+            federation=FederationRegime(
+                replica_coding="full", coding_k=CODED_K, coding_n=3
+            ),
+            sweep=(
+                SweepAxis(parameter="replica_coding", values=(1.0, 2.0)),
+                SweepAxis(parameter="coding_n", values=CODING_N_POINTS),
+            ),
+            faults=(
+                ProxyFault(proxy_index=-1, at_fraction=0.25, action="fail"),
+                ProxyFault(proxy_index=-1, at_fraction=0.45, action="recover"),
+                ProxyFault(proxy_index=-2, at_fraction=0.5, action="fail"),
+                ProxyFault(proxy_index=-2, at_fraction=0.7, action="recover"),
+                ProxyFault(proxy_index=-1, at_fraction=0.8, action="fail"),
+            ),
+        ),
+        ScenarioSpec(
+            name="coded_staleness_vs_sync",
+            description="sync cadence x replica coding against failover "
+            "staleness — fragments must not change what replicas answer",
+            federation=FederationRegime(
+                replica_coding="full", coding_k=CODED_K, coding_n=3
+            ),
+            sweep=(
+                SweepAxis(
+                    parameter="replica_sync_interval_s", values=SYNC_INTERVALS
+                ),
+                SweepAxis(parameter="replica_coding", values=(1.0, 2.0)),
+            ),
+            faults=(
+                ProxyFault(
+                    proxy_index=-1,
+                    at_fraction=STALENESS_DEATH_FRACTION,
+                    action="fail",
+                ),
             ),
         ),
     )

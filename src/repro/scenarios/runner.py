@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import FederatedSystem, FederationConfig, PrestoConfig, PrestoSystem
-from repro.core.config import SHARD_POLICIES
+from repro.core.config import SHARD_POLICIES, replica_coding_name
 from repro.core.continuous import ContinuousQuery, Notification, TriggerKind
 from repro.core.system import SystemReport
 from repro.radio.link import LinkConfig
@@ -76,6 +76,8 @@ SWEEP_LABELS = {
     "memo_ttl_s": "memo",
     "partitions": "parts",
     "storage_policy": "policy",
+    "replica_coding": "coding",
+    "coding_n": "n",
 }
 
 
@@ -225,6 +227,9 @@ class ScenarioResult:
         serving = getattr(report, "serving", None)
         if serving is not None:
             out.update(serving.summary())
+        coding = getattr(report, "coding", None)
+        if coding is not None:
+            out.update(coding.summary())
         return out
 
 
@@ -869,6 +874,16 @@ class CampaignRunner:
                     spec.storage, storage_policy=storage_policy_name(value)
                 )
                 spec = dataclasses.replace(spec, storage=storage)
+            elif parameter == "replica_coding":
+                federation = dataclasses.replace(
+                    spec.federation, replica_coding=replica_coding_name(value)
+                )
+                spec = dataclasses.replace(spec, federation=federation)
+            elif parameter == "coding_n":
+                federation = dataclasses.replace(
+                    spec.federation, coding_n=int(value)
+                )
+                spec = dataclasses.replace(spec, federation=federation)
             else:
                 # Unreachable while this chain covers spec.SWEEP_PARAMETERS;
                 # raising keeps a new parameter added there from silently
@@ -1011,6 +1026,12 @@ class CampaignRunner:
             )
         if spec.federation.partitions is not None:
             kwargs["partitions"] = spec.federation.partitions
+        if spec.federation.replica_coding is not None:
+            kwargs["replica_coding"] = spec.federation.replica_coding
+        if spec.federation.coding_k is not None:
+            kwargs["coding_k"] = spec.federation.coding_k
+        if spec.federation.coding_n is not None:
+            kwargs["coding_n"] = spec.federation.coding_n
         return FederationConfig(**kwargs)  # type: ignore[arg-type]
 
     @staticmethod

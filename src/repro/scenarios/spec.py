@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import REPLICA_CODINGS
 from repro.core.continuous import TriggerKind
 from repro.storage.offload import STORAGE_POLICIES
 
@@ -241,6 +242,13 @@ class FederationRegime:
 
     replica_sync_interval_s: float | None = None
     partitions: int | None = None
+    #: replica coding knobs; ``None`` inherits the FederationConfig default.
+    #: ``replica_coding`` is sweepable via 1-based numeric codes
+    #: (1=full, 2=rs), and ``coding_n`` sweeps the stripe width at a
+    #: pinned ``coding_k`` — charting survivability vs sync bytes.
+    replica_coding: str | None = None
+    coding_k: int | None = None
+    coding_n: int | None = None
 
     def __post_init__(self) -> None:
         if (
@@ -252,6 +260,27 @@ class FederationRegime:
             raise ValueError(
                 "partitions must be None (shared kernel), 0 (one per "
                 f"core) or a positive count, got {self.partitions}"
+            )
+        if (
+            self.replica_coding is not None
+            and self.replica_coding not in REPLICA_CODINGS
+        ):
+            raise ValueError(
+                f"unknown replica coding {self.replica_coding!r}; "
+                f"expected one of {REPLICA_CODINGS}"
+            )
+        for name in ("coding_k", "coding_n"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if (
+            self.coding_k is not None
+            and self.coding_n is not None
+            and self.coding_k > self.coding_n
+        ):
+            raise ValueError(
+                f"need coding_k <= coding_n, got "
+                f"k={self.coding_k}, n={self.coding_n}"
             )
 
 
@@ -304,6 +333,8 @@ SWEEP_PARAMETERS = (
     "memo_ttl_s",
     "partitions",
     "storage_policy",
+    "replica_coding",
+    "coding_n",
 )
 
 
@@ -384,6 +415,24 @@ class SweepAxis:
                 f"[1, {len(STORAGE_POLICIES)}] "
                 f"(1={STORAGE_POLICIES[0]} .. {len(STORAGE_POLICIES)}="
                 f"{STORAGE_POLICIES[-1]}), got {self.values}"
+            )
+        if self.parameter == "replica_coding" and any(
+            float(value) != int(value) or not 1 <= value <= len(REPLICA_CODINGS)
+            for value in self.values
+        ):
+            raise ValueError(
+                f"replica-coding sweep values must be whole codes in "
+                f"[1, {len(REPLICA_CODINGS)}] "
+                f"(1={REPLICA_CODINGS[0]} .. {len(REPLICA_CODINGS)}="
+                f"{REPLICA_CODINGS[-1]}), got {self.values}"
+            )
+        if self.parameter == "coding_n" and any(
+            float(value) != int(value) or not 1 <= value <= 255
+            for value in self.values
+        ):
+            raise ValueError(
+                f"coding_n sweep values must be whole fragment counts in "
+                f"[1, 255], got {self.values}"
             )
 
 

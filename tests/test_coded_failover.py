@@ -1,0 +1,173 @@
+"""Decode-equivalence harness: coded failover answers match full copies.
+
+The erasure-coded sync path's contract is *not* "approximately as good":
+while >= k fragments of the relevant generations survive, a failover
+answer decoded from fragments must be byte-identical to the one a
+survivability-equivalent full-copy deployment gives on the same seed —
+same values, same sources, same latencies, same measured staleness.
+``rs`` with (k=2, n=3) tolerates any single host loss, exactly like
+``replication_factor=2`` whole copies, so those two runs must agree on
+everything except the byte bill.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FederationConfig, PrestoConfig
+from repro.core.federation import FederatedSystem
+from repro.traces.intel_lab import IntelLabConfig, IntelLabGenerator
+from repro.traces.workload import QueryWorkloadConfig, ShardedWorkloadGenerator
+
+DURATION_S = 4 * 3600.0
+N_SENSORS = 12
+CODING_K, CODING_N = 2, 3
+
+#: the cascade kills two wireless owners and recovers one; with 3 wired
+#: hosts and single-host fragment spread, >= k fragments survive at every
+#: failover instant, so equivalence must hold at every answer
+FAILURES = (("proxy3", 2.5 * 3600.0), ("proxy4", 2.6 * 3600.0))
+RECOVERIES = (("proxy3", 3.4 * 3600.0),)
+
+
+def make_trace():
+    config = IntelLabConfig(
+        n_sensors=N_SENSORS, duration_s=DURATION_S, epoch_s=31.0
+    )
+    return IntelLabGenerator(config, seed=7).generate()
+
+
+def fast_config():
+    return PrestoConfig(
+        sample_period_s=31.0,
+        refit_interval_s=3 * 3600.0,
+        min_training_epochs=128,
+    )
+
+
+def run_federated(replica_coding, partitions=None, backend="inline"):
+    """One pinned-seed run; ``full`` uses the survivability-equivalent
+    replication factor n - k + 1 so both modes ride out the same losses."""
+    trace = make_trace()
+    federation = FederationConfig(
+        n_proxies=6,
+        replication_factor=CODING_N - CODING_K + 1,
+        replica_coding=replica_coding,
+        coding_k=CODING_K,
+        coding_n=CODING_N,
+        partitions=partitions,
+        partition_backend=backend,
+    )
+    system = FederatedSystem(
+        trace, config=fast_config(), federation=federation, seed=3
+    )
+    generator = ShardedWorkloadGenerator(
+        [list(shard) for shard in system.shards],
+        QueryWorkloadConfig(arrival_rate_per_s=1 / 120.0),
+        rng=np.random.default_rng(11),
+    )
+    queries = generator.generate(0.0, DURATION_S)
+    for name, at_s in FAILURES:
+        system.schedule_failure(name, at_s)
+    for name, at_s in RECOVERIES:
+        system.schedule_recovery(name, at_s)
+    return system.run(queries, duration_s=DURATION_S)
+
+
+def equivalence_key(report):
+    """Everything that must be byte-identical across coding modes.
+
+    ``replica_syncs`` is deliberately excluded: it counts *shipments*
+    (hosts x syncs), which legitimately differs between one whole copy
+    per host and one fragment per host.
+    """
+    return (
+        tuple(answer.latency_s for answer in report.answers),
+        tuple(answer.value for answer in report.answers),
+        tuple(answer.source for answer in report.answers),
+        report.fault_staleness_s,
+        report.cross_proxy_hops,
+        report.replica_hits,
+        report.failovers,
+        report.unroutable,
+        report.failover_mean_error,
+        report.failover_max_error,
+    )
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return run_federated("full")
+
+
+@pytest.fixture(scope="module")
+def rs_report():
+    return run_federated("rs")
+
+
+class TestDecodeEquivalence:
+    def test_failover_answers_byte_identical(self, full_report, rs_report):
+        assert equivalence_key(rs_report) == equivalence_key(full_report)
+
+    def test_failovers_actually_exercised(self, full_report):
+        # The cascade must produce real failover traffic, else the
+        # equivalence above is vacuous.
+        assert full_report.failovers > 0
+        assert full_report.replica_hits > 0
+        assert full_report.fault_staleness_s  # one entry per death
+
+    def test_decodes_happened(self, rs_report):
+        coding = rs_report.coding
+        assert coding.mode == "rs"
+        assert coding.decodes > 0
+        assert coding.irrecoverable == 0  # >= k fragments always survived
+
+    def test_coded_sync_bytes_strictly_below_full_copy(
+        self, full_report, rs_report
+    ):
+        # (k=2, n=3) ships 1.5x the payload where full copies ship 2x —
+        # same single-host-loss survivability, strictly fewer bytes.
+        assert 0 < rs_report.coding.shipped_bytes
+        assert rs_report.coding.shipped_bytes < rs_report.coding.full_copy_bytes
+        assert rs_report.coding.shipped_bytes < full_report.coding.shipped_bytes
+        # The in-run counterfactual prices the same payloads both ways.
+        assert rs_report.coding.full_copy_bytes == full_report.coding.shipped_bytes
+
+    def test_sync_energy_tracks_shipped_bytes(self, full_report, rs_report):
+        for report in (full_report, rs_report):
+            assert report.coding.sync_radio_j > 0
+            assert report.coding.sync_flash_j > 0
+        ratio = rs_report.coding.shipped_bytes / full_report.coding.shipped_bytes
+        assert rs_report.coding.sync_radio_j == pytest.approx(
+            full_report.coding.sync_radio_j * ratio
+        )
+        assert rs_report.coding.sync_flash_j == pytest.approx(
+            full_report.coding.sync_flash_j * ratio
+        )
+
+    def test_summary_exports_coding_metrics(self, rs_report):
+        summary = rs_report.summary()
+        assert summary["coding_shipped_bytes"] > 0
+        assert 0.0 < summary["coding_bytes_saved_fraction"] < 1.0
+
+
+class TestCodedPartitionEquivalence:
+    """The partitioned kernel must not change coded results or accounting."""
+
+    @pytest.mark.parametrize("replica_coding", ["full", "rs"])
+    def test_partitions_preserve_coding_accounting(self, replica_coding):
+        legacy = run_federated(replica_coding)
+        split = run_federated(replica_coding, partitions=2)
+        assert equivalence_key(split) == equivalence_key(legacy)
+        assert split.replica_syncs == legacy.replica_syncs
+        for field in (
+            "payload_bytes",
+            "shipped_bytes",
+            "full_copy_bytes",
+            "decodes",
+            "irrecoverable",
+            "sync_radio_j",
+            "sync_flash_j",
+        ):
+            assert getattr(split.coding, field) == getattr(
+                legacy.coding, field
+            ), field

@@ -147,3 +147,65 @@ class TestFailurePaths:
         d.mark_down("wired0")
         plan = d.plan_replication()
         assert plan == {"wifi0": ["wired1"]}
+
+
+def scarce_directory(replication_factor=3):
+    """Two wired hosts, three wireless owners: the scarce-wired regime."""
+    d = CacheDirectory(replication_factor=replication_factor)
+    d.register_proxy("wired0", wired=True, response_latency_s=0.01)
+    d.register_proxy("wired1", wired=True, response_latency_s=0.02)
+    for i in range(3):
+        d.register_proxy(f"wifi{i}", wired=False, response_latency_s=0.3)
+        d.publish_cache(f"wifi{i}", {10 * i})
+    return d
+
+
+class TestDistinctHostGuarantee:
+    """Regression: scarce wired pools must never stack one owner's
+    replicas (or fragment spread) on a single host."""
+
+    def test_scarce_plan_never_duplicates_hosts(self):
+        plan = scarce_directory(replication_factor=3).plan_replication()
+        for owner, hosts in plan.items():
+            assert len(hosts) == len(set(hosts)), (owner, hosts)
+            # fewer replicas than asked, never a duplicated host
+            assert sorted(hosts) == ["wired0", "wired1"]
+
+    def test_replanning_keeps_hosts_distinct(self):
+        d = scarce_directory(replication_factor=2)
+        first = d.plan_replication()
+        second = d.plan_replication()   # e.g. after a topology review
+        for plan in (first, second):
+            for hosts in plan.values():
+                assert len(hosts) == len(set(hosts))
+
+    def test_fragment_placement_distinct_while_pool_allows(self):
+        d = CacheDirectory(replication_factor=1)
+        for i in range(4):
+            d.register_proxy(f"wired{i}", wired=True, response_latency_s=0.01 * (i + 1))
+        d.register_proxy("wifi0", wired=False, response_latency_s=0.3)
+        d.publish_cache("wifi0", {1})
+        plan = d.plan_fragment_placement(k=2, n=4)
+        assert len(plan["wifi0"]) == 4
+        assert len(set(plan["wifi0"])) == 4  # coded placement inherits distinctness
+        # placements resolve failover exactly like whole copies
+        d.mark_down("wifi0")
+        assert d.best_server(1).name in plan["wifi0"]
+
+    def test_fragment_placement_wraps_round_robin_when_scarce(self):
+        d = scarce_directory()
+        plan = d.plan_fragment_placement(k=2, n=5)
+        for hosts in plan.values():
+            assert len(hosts) == 5
+            # maximal spread: no host takes a second fragment before
+            # every host holds one (counts differ by at most 1)
+            counts = sorted(hosts.count(name) for name in set(hosts))
+            assert counts[-1] - counts[0] <= 1
+            assert set(hosts) == {"wired0", "wired1"}
+
+    def test_fragment_placement_rejects_bad_kn(self):
+        d = scarce_directory()
+        with pytest.raises(ValueError):
+            d.plan_fragment_placement(k=4, n=2)
+        with pytest.raises(ValueError):
+            d.plan_fragment_placement(k=0, n=2)

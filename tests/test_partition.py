@@ -40,11 +40,16 @@ def fast_config():
     )
 
 
-def run_federated(partitions, backend="inline", serving=None, kill=True):
+def run_federated(
+    partitions, backend="inline", serving=None, kill=True, replica_coding="full"
+):
     trace = make_trace()
     federation = FederationConfig(
         n_proxies=4,
         replication_factor=1,
+        replica_coding=replica_coding,
+        coding_k=2,
+        coding_n=2,
         partitions=partitions,
         partition_backend=backend,
     )
@@ -124,6 +129,43 @@ class TestPartitionEquivalence:
             assert block == list(range(block[0], block[0] + len(block)))
         with pytest.raises(ValueError):
             partition_cells(4, 5)
+
+
+class TestCodedSyncAccounting:
+    """Per-sync byte/energy accounting is a partition-invariant ledger.
+
+    The coding report's radio/flash joules are derived from the bytes
+    each partition actually shipped, so splitting the kernel must leave
+    every ledger field untouched — in both coding modes.
+    """
+
+    CODING_FIELDS = (
+        "payload_bytes",
+        "shipped_bytes",
+        "full_copy_bytes",
+        "decodes",
+        "irrecoverable",
+        "sync_radio_j",
+        "sync_flash_j",
+    )
+
+    @pytest.mark.parametrize("replica_coding", ["full", "rs"])
+    def test_sync_joules_match_across_partitioning(self, replica_coding):
+        legacy = run_federated(None, replica_coding=replica_coding).coding
+        split = run_federated(2, replica_coding=replica_coding).coding
+        assert legacy.mode == split.mode == replica_coding
+        for field in self.CODING_FIELDS:
+            assert getattr(split, field) == getattr(legacy, field), field
+        assert legacy.shipped_bytes > 0
+        assert legacy.sync_radio_j > 0
+        assert legacy.sync_flash_j > 0
+
+    def test_full_mode_ledger_is_identity(self):
+        # In full mode the counterfactual equals what was shipped: the
+        # savings fraction reads 0 and the ledger is a pure byte meter.
+        coding = run_federated(None).coding
+        assert coding.shipped_bytes == coding.full_copy_bytes
+        assert coding.bytes_saved_fraction == 0.0
 
 
 class TestServingDeterminism:
